@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+Benchmarks default to laptop-scale problems (classes T/S, and W for the
+kernel benches).  Set ``REPRO_BENCH_CLASS=W`` to scale the full-solve
+benches up.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_class() -> str:
+    return os.environ.get("REPRO_BENCH_CLASS", "S")

@@ -1,0 +1,40 @@
+"""ABL-WLF — compiler ablation on the SAC-language MG.
+
+Times the mini-SAC MG with individual optimization passes disabled, and
+with the vectorizing WITH-loop evaluator switched off entirely (scalar
+reference loops, tiny grid only) — the latter quantifies what "aggressive
+compiler optimization" is worth, the paper's central performance claim.
+"""
+
+import pytest
+
+from repro.mg_sac import solve_sac_mg
+
+
+@pytest.mark.parametrize(
+    "label,kwargs",
+    [
+        ("full", {}),
+        ("no-inline", {"pass_overrides": (("inline", False),)}),
+        ("no-wlfold", {"pass_overrides": (("wlfold", False),)}),
+        ("no-unroll", {"pass_overrides": (("unroll", False),)}),
+        ("no-coeffgroup", {"pass_overrides": (("coeffgroup", False),)}),
+        ("no-opt", {"optimize": False}),
+    ],
+)
+def test_sac_pass_ablation(benchmark, label, kwargs, bench_class):
+    result = benchmark.pedantic(
+        lambda: solve_sac_mg(bench_class, **kwargs),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    assert result.verified or result.size_class.verify_value is None
+
+
+def test_sac_scalar_evaluator(benchmark):
+    """WITH-loops as per-index Python loops (the defining semantics):
+    orders of magnitude slower — run on a single tiny V-cycle."""
+    result = benchmark.pedantic(
+        lambda: solve_sac_mg("T", nit=1, vectorize=False),
+        rounds=1, iterations=1,
+    )
+    assert result.rnm2 > 0

@@ -1,0 +1,53 @@
+"""FIG11 — single-processor performance.
+
+Two complementary regenerations of the paper's Fig. 11:
+
+* **Measured**: wall-clock of this repository's three implementation
+  styles (plus the MG program executed through the mini-SAC pipeline) on
+  a laptop-scale class.  The paper's *orderings* concern the styles'
+  arithmetic structure; on the NumPy substrate the C-style plane loops
+  carry the interpreter-loop cost the RWCP port's pointer rows carried
+  on the testbed.
+* **Simulated**: the calibrated testbed model, asserted to reproduce the
+  paper's headline percentages exactly (also covered by unit tests).
+"""
+
+import pytest
+
+from repro.baselines import IMPLEMENTATIONS
+from repro.harness.experiments import fig11
+from repro.mg_sac import solve_sac_mg
+
+
+@pytest.mark.parametrize("impl", ["f77", "c", "sac"])
+def test_fig11_measured_solve(benchmark, impl, bench_class):
+    """Wall-clock of each implementation style's full benchmark run."""
+    solver = IMPLEMENTATIONS[impl]
+    result = benchmark.pedantic(
+        lambda: solver.solve(bench_class), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.verified or result.size_class.verify_value is None
+
+
+def test_fig11_measured_sac_language(benchmark, bench_class):
+    """The SAC-language MG through the full mini-SAC pipeline."""
+    result = benchmark.pedantic(
+        lambda: solve_sac_mg(bench_class), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.verified or result.size_class.verify_value is None
+
+
+def test_fig11_simulated(benchmark):
+    """Regenerate the simulated Fig. 11 table and check the headlines."""
+    data = benchmark(fig11)
+    for cls in ("W", "A"):
+        got = data["gaps"][cls]
+        want = data["paper_gaps"][cls]
+        assert got["f77_over_sac_pct"] == pytest.approx(
+            want["f77_over_sac_pct"], abs=0.2
+        )
+        assert got["sac_over_c_pct"] == pytest.approx(
+            want["sac_over_c_pct"], abs=0.2
+        )

@@ -1,0 +1,57 @@
+"""FIG12 — speedups relative to each implementation's own sequential
+time, 1..10 processors.
+
+The paper's processor sweep runs on the calibrated testbed simulator
+(this container has one CPU); the mechanism itself — fork-join chunked
+kernels over shared arrays — is additionally exercised for real through
+:class:`repro.runtime.ParallelMG`.
+"""
+
+import pytest
+
+from repro.harness.experiments import fig12
+from repro.machine import PAPER
+from repro.runtime import ParallelMG
+
+
+def test_fig12_simulated_sweep(benchmark):
+    """The full simulated sweep; checks the paper's P=10 speedups."""
+    data = benchmark(fig12)
+    for name in ("f77", "sac", "omp"):
+        for cls in ("W", "A"):
+            got = data["speedups"][cls][name][10]
+            want = PAPER.speedup_10[name][cls]
+            assert got == pytest.approx(want, rel=0.06), (name, cls)
+
+
+@pytest.mark.parametrize("nranks", [1, 2, 4])
+def test_real_spmd_mg(benchmark, nranks):
+    """Message-passing SPMD MG (slab decomposition + halo exchange),
+    bit-identical to serial; single-CPU container so the interest is the
+    communication overhead profile, not speedup."""
+    from repro.baselines import FortranMG
+    from repro.runtime.spmd import DistributedMG
+
+    ref = FortranMG().solve("T").rnm2
+    result = benchmark.pedantic(
+        lambda: DistributedMG(nranks).solve("T"), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.rnm2 == pytest.approx(ref, rel=1e-12)
+
+
+@pytest.mark.parametrize("nthreads", [1, 2, 4])
+def test_fig12_real_forkjoin_mg(benchmark, nthreads):
+    """Real fork-join execution of MG with a worker team.
+
+    Single-CPU container: this documents the mechanism's overhead rather
+    than a speedup; results are asserted bit-identical to serial.
+    """
+    from repro.baselines import FortranMG
+
+    ref = FortranMG().solve("T").rnm2
+    result = benchmark.pedantic(
+        lambda: ParallelMG(nthreads).solve("T"), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.rnm2 == ref

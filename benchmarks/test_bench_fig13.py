@@ -1,0 +1,20 @@
+"""FIG13 — speedups relative to the fastest sequential implementation
+(Fortran-77), and the crossover findings."""
+
+import pytest
+
+from repro.harness.experiments import fig13
+
+
+def test_fig13_simulated_sweep(benchmark):
+    data = benchmark(fig13)
+    # SAC passes the auto-parallelized Fortran at four processors.
+    assert data["crossovers"]["W"] == 4
+    assert data["crossovers"]["A"] == 4
+    # Class A: SAC stays ahead of OpenMP throughout the measured range.
+    a = data["speedups"]["A"]
+    for p in (1, 2, 4, 6, 8, 10):
+        assert a["sac"][p] > a["omp"][p], p
+    # Class W: OpenMP eventually overtakes.
+    w = data["speedups"]["W"]
+    assert w["omp"][10] > w["sac"][10]

@@ -1,0 +1,55 @@
+"""Front-end benchmarks: lexing, parsing, checking and optimizing the
+MG program (the compile-time side of the compiler)."""
+
+import pytest
+
+from repro.mg_sac import mg_source_path
+from repro.sac import (
+    CompileOptions,
+    SacProgram,
+    optimize_program,
+    parse_program,
+    tokenize,
+)
+from repro.sac.ast_nodes import Program
+from repro.sac.stdlib import load_prelude
+from repro.sac.typecheck import collect_diagnostics
+
+
+@pytest.fixture(scope="module")
+def mg_source():
+    return mg_source_path().read_text()
+
+
+@pytest.fixture(scope="module")
+def combined(mg_source):
+    return Program(
+        load_prelude().functions + parse_program(mg_source).functions
+    )
+
+
+def test_tokenize_mg(benchmark, mg_source):
+    toks = benchmark(lambda: tokenize(mg_source))
+    assert len(toks) > 500
+
+
+def test_parse_mg(benchmark, mg_source):
+    prog = benchmark(lambda: parse_program(mg_source))
+    assert len(prog.functions) > 10
+
+
+def test_typecheck_mg(benchmark, combined):
+    diags = benchmark(lambda: collect_diagnostics(combined))
+    assert diags == []
+
+
+def test_optimize_mg(benchmark, combined):
+    out = benchmark(lambda: optimize_program(combined))
+    assert len(out.functions) == len(combined.functions)
+
+
+def test_full_load(benchmark, mg_source):
+    prog = benchmark(
+        lambda: SacProgram.from_source(mg_source, options=CompileOptions())
+    )
+    assert "VCycle" in prog.function_names()

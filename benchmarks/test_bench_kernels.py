@@ -1,0 +1,89 @@
+"""Kernel-level benchmarks: the four V-cycle operations on a class-W
+grid, for the NPB-exact core and the C-style plane kernels."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.c_mg import (
+    interp_add_planes,
+    psinv_planes,
+    resid_planes,
+    rprj3_planes,
+)
+from repro.core import (
+    A_COEFFS,
+    S_COEFFS_A,
+    comm3,
+    interp_add,
+    make_grid,
+    psinv,
+    resid,
+    rprj3,
+)
+
+_M = 64
+
+
+@pytest.fixture(scope="module")
+def grids():
+    rng = np.random.default_rng(7)
+    u = make_grid(_M)
+    v = make_grid(_M)
+    z = make_grid(_M // 2)
+    u[1:-1, 1:-1, 1:-1] = rng.standard_normal((_M,) * 3)
+    v[1:-1, 1:-1, 1:-1] = rng.standard_normal((_M,) * 3)
+    z[1:-1, 1:-1, 1:-1] = rng.standard_normal((_M // 2,) * 3)
+    return comm3(u), comm3(v), comm3(z)
+
+
+class TestFortranStyle:
+    def test_resid(self, benchmark, grids):
+        u, v, _ = grids
+        benchmark(lambda: resid(u, v, A_COEFFS))
+
+    def test_psinv(self, benchmark, grids):
+        u, v, _ = grids
+        benchmark(lambda: psinv(v, u.copy(), S_COEFFS_A))
+
+    def test_rprj3(self, benchmark, grids):
+        u, _, _ = grids
+        benchmark(lambda: rprj3(u))
+
+    def test_interp(self, benchmark, grids):
+        _, _, z = grids
+        benchmark(lambda: interp_add(z, make_grid(_M)))
+
+
+class TestCStyle:
+    def test_resid(self, benchmark, grids):
+        u, v, _ = grids
+        benchmark(lambda: resid_planes(u, v, A_COEFFS))
+
+    def test_psinv(self, benchmark, grids):
+        u, v, _ = grids
+        benchmark(lambda: psinv_planes(v, u.copy(), S_COEFFS_A))
+
+    def test_rprj3(self, benchmark, grids):
+        u, _, _ = grids
+        benchmark(lambda: rprj3_planes(u))
+
+    def test_interp(self, benchmark, grids):
+        _, _, z = grids
+        benchmark(lambda: interp_add_planes(z, make_grid(_M)))
+
+
+class TestSacLanguageKernels:
+    def test_relax_kernel_through_pipeline(self, benchmark, grids):
+        from repro.mg_sac import load_mg_program
+
+        u, _, _ = grids
+        prog = load_mg_program(True, True)
+        c = np.asarray(S_COEFFS_A)
+        benchmark(lambda: prog.call("RelaxKernel", u, c))
+
+    def test_setup_periodic_border(self, benchmark, grids):
+        from repro.mg_sac import load_mg_program
+
+        u, _, _ = grids
+        prog = load_mg_program(True, True)
+        benchmark(lambda: prog.call("SetupPeriodicBorder", u))

@@ -1,0 +1,52 @@
+"""Micro-benchmarks of the benchmark plumbing itself: the random stream,
+the RHS setup, the border exchange, and the norm."""
+
+import numpy as np
+import pytest
+
+from repro.core import comm3, make_grid, norm2u3, zran3
+from repro.core.randlc import RandlcState, vranlc
+from repro.core.zran3 import fill_random_grid
+
+
+class TestRandlc:
+    def test_vranlc_1m(self, benchmark):
+        def run():
+            return vranlc(1_000_000, RandlcState())
+
+        out = benchmark(run)
+        assert out.shape == (1_000_000,)
+
+    def test_scalar_stream_10k(self, benchmark):
+        def run():
+            st = RandlcState()
+            return [st.next() for _ in range(10_000)]
+
+        out = benchmark(run)
+        assert len(out) == 10_000
+
+
+class TestSetup:
+    def test_fill_random_grid_64(self, benchmark):
+        z = benchmark(lambda: fill_random_grid(64))
+        assert z.shape == (66, 66, 66)
+
+    def test_zran3_64(self, benchmark):
+        v = benchmark(lambda: zran3(64))
+        assert np.count_nonzero(v[1:-1, 1:-1, 1:-1]) == 20
+
+
+class TestGridOps:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        rng = np.random.default_rng(1)
+        u = make_grid(64)
+        u[1:-1, 1:-1, 1:-1] = rng.standard_normal((64,) * 3)
+        return u
+
+    def test_comm3_64(self, benchmark, grid):
+        benchmark(lambda: comm3(grid))
+
+    def test_norm2u3_64(self, benchmark, grid):
+        rnm2, rnmu = benchmark(lambda: norm2u3(grid))
+        assert rnm2 > 0

@@ -1,0 +1,51 @@
+"""Scheduling-strategy benchmarks.
+
+SAC's runtime block-partitions WITH-loop index spaces; these benches
+compare partitioning strategies on the parallel stencil kernels and
+measure the partitioner itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import A_COEFFS, comm3, make_grid
+from repro.runtime import ThreadTeam, block_partition, cyclic_partition
+from repro.runtime.parallel_mg import resid_chunk
+from repro.runtime.scheduler import chunked_partition
+
+_M = 64
+
+
+@pytest.fixture(scope="module")
+def grids():
+    rng = np.random.default_rng(11)
+    u = make_grid(_M)
+    v = make_grid(_M)
+    u[1:-1, 1:-1, 1:-1] = rng.standard_normal((_M,) * 3)
+    v[1:-1, 1:-1, 1:-1] = rng.standard_normal((_M,) * 3)
+    return comm3(u), comm3(v)
+
+
+def _run_with_chunks(u, v, chunks, team):
+    r = np.zeros_like(u)
+    team.run(lambda c: resid_chunk(u, v, A_COEFFS, r, c.lo[0], c.hi[0]),
+             chunks)
+    return r
+
+
+@pytest.mark.parametrize("strategy", ["block", "cyclic", "chunk8"])
+def test_resid_by_strategy(benchmark, grids, strategy):
+    u, v = grids
+    with ThreadTeam(4) as team:
+        if strategy == "block":
+            chunks = block_partition((_M,), team.nthreads)
+        elif strategy == "cyclic":
+            chunks = [c for plan in cyclic_partition((_M,), team.nthreads)
+                      for c in plan]
+        else:
+            chunks = chunked_partition((_M,), 8)
+        benchmark(lambda: _run_with_chunks(u, v, chunks, team))
+
+
+def test_partitioner_overhead(benchmark):
+    benchmark(lambda: block_partition((_M, _M, _M), 12))

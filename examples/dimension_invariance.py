@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Dimension invariance: one SAC kernel, any rank.
+
+Runs ``examples/sac/generic_relax.sac`` — a single, unmodified
+relaxation kernel — on 1-D, 2-D and 3-D periodic grids, cross-checking
+each result against a NumPy reference built for that rank.  This is the
+paper's §4 claim ("this SAC code could be reused for grids of any
+dimension without alteration") made executable.
+
+    python examples/dimension_invariance.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.sac import SacProgram
+
+SOURCE = Path(__file__).parent / "sac" / "generic_relax.sac"
+
+
+def reference_smooth(u: np.ndarray, coeffs) -> np.ndarray:
+    """Rank-generic NumPy reference: periodic border, then the
+    distance-class stencil on inner elements."""
+    out = u.copy()
+    for axis in reversed(range(u.ndim)):
+        lo = [slice(None)] * u.ndim
+        hi = [slice(None)] * u.ndim
+        src_hi = [slice(None)] * u.ndim
+        src_lo = [slice(None)] * u.ndim
+        lo[axis], src_hi[axis] = 0, -2
+        hi[axis], src_lo[axis] = -1, 1
+        out[tuple(lo)] = out[tuple(src_hi)]
+        out[tuple(hi)] = out[tuple(src_lo)]
+    res = out.copy()
+    inner = tuple(slice(1, -1) for _ in range(u.ndim))
+    acc = np.zeros(tuple(s - 2 for s in u.shape))
+    for off in np.ndindex(*(3,) * u.ndim):
+        o = tuple(x - 1 for x in off)
+        cls = sum(abs(x) for x in o)
+        view = out[tuple(slice(1 + x, s - 1 + x) for x, s in zip(o, u.shape))]
+        acc = acc + coeffs[cls] * view
+    res[inner] = acc
+    return res
+
+
+def main() -> int:
+    prog = SacProgram.from_file(SOURCE)
+    rng = np.random.default_rng(0)
+
+    for ndim in (1, 2, 3):
+        m = {1: 64, 2: 16, 3: 8}[ndim]
+        u = np.zeros((m + 2,) * ndim)
+        u[(slice(1, -1),) * ndim] = rng.standard_normal((m,) * ndim)
+        # One smoothing coefficient per distance class (rank + 1 of them):
+        # a simple damped-Jacobi-flavoured set.
+        coeffs = np.array([0.5] + [0.5 / (6.0 ** k) for k in range(1, ndim + 1)])
+
+        got = prog.call("SmoothAnyRank", u, coeffs)
+        want = reference_smooth(u, coeffs)
+        err = float(np.max(np.abs(got - want)))
+        status = "OK" if err < 1e-12 else "MISMATCH"
+        print(f"{ndim}-D grid {u.shape}: same SAC kernel, "
+              f"max deviation from NumPy reference = {err:.2e}  [{status}]")
+        if err >= 1e-12:
+            return 1
+    print("\none kernel text, three ranks — no alteration required.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

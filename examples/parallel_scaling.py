@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Parallel scaling: the paper's Figs. 12/13 plus a live fork-join run.
+
+Prints the simulated speedup curves of the calibrated testbed model for
+both size classes, then demonstrates the actual fork-join runtime by
+solving class T with increasing team sizes and checking bit-equality
+with the serial result (on a single-CPU container the team adds
+overhead rather than speedup — the mechanism is what is shown).
+
+    python examples/parallel_scaling.py
+"""
+
+import time
+
+from repro.baselines import FortranMG
+from repro.harness import experiments, report
+from repro.runtime import ParallelMG
+
+
+def main() -> int:
+    print(report.format_fig12(experiments.fig12()))
+    print()
+    print(report.format_fig13(experiments.fig13()))
+
+    print("\nlive fork-join execution (class T, bit-compared to serial):")
+    ref = FortranMG().solve("T")
+    for p in (1, 2, 4):
+        t0 = time.perf_counter()
+        res = ParallelMG(p).solve("T")
+        dt = time.perf_counter() - t0
+        same = "bit-identical" if res.rnm2 == ref.rnm2 else "MISMATCH"
+        print(f"  {p} thread(s): {dt * 1e3:7.1f} ms  rnm2={res.rnm2:.3e}  "
+              f"[{same}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Using the library as a general periodic Poisson solver.
+
+The paper's intro motivates MG as the workhorse of computational fluid
+dynamics; here the same V-cycle machinery solves ∇²u = v for a custom
+charge distribution (a dipole pair plus a ring of charges) instead of
+the benchmark's random ±1 charges, and reports the convergence history.
+
+    python examples/poisson_solver.py [N] [ITERS]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core import (
+    A_COEFFS,
+    S_COEFFS_A,
+    comm3,
+    make_grid,
+    mg3P,
+    norm2u3,
+    resid,
+)
+
+
+def dipole_ring_rhs(n: int) -> np.ndarray:
+    """A zero-net-charge RHS: one dipole plus an alternating ring."""
+    v = make_grid(n)
+    inner = v[1:-1, 1:-1, 1:-1]
+    c = n // 2
+    inner[c, c, c - n // 4] = +1.0
+    inner[c, c, c + n // 4] = -1.0
+    for k in range(8):
+        angle = 2 * np.pi * k / 8
+        y = int(c + (n // 3) * np.sin(angle))
+        x = int(c + (n // 3) * np.cos(angle))
+        inner[c, y % n, x % n] += 1.0 if k % 2 == 0 else -1.0
+    comm3(v)
+    return v
+
+
+def solve_poisson(v: np.ndarray, iters: int):
+    n = v.shape[0] - 2
+    lt = n.bit_length() - 1
+    u = make_grid(n)
+    r = {lt: resid(u, v)}
+    history = [norm2u3(r[lt])[0]]
+    for _ in range(iters):
+        mg3P(u, v, r, A_COEFFS, S_COEFFS_A, lt)
+        r[lt] = resid(u, v)
+        history.append(norm2u3(r[lt])[0])
+    return u, history
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    iters = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    if n & (n - 1):
+        print("grid size must be a power of two")
+        return 2
+
+    v = dipole_ring_rhs(n)
+    print(f"solving periodic Poisson on a {n}^3 grid, "
+          f"{int(v[1:-1,1:-1,1:-1].sum())} net charge, {iters} V-cycles")
+    u, history = solve_poisson(v, iters)
+
+    print("\nresidual L2 norm:")
+    for i, h in enumerate(history):
+        reduction = "" if i == 0 else f"  (x{history[i-1] / h:6.1f} smaller)"
+        print(f"  after {i:2d} V-cycles: {h:.6e}{reduction}")
+
+    umax = float(np.abs(u[1:-1, 1:-1, 1:-1]).max())
+    print(f"\nsolution max |u| = {umax:.6f}")
+    print(f"overall residual reduction: {history[0] / history[-1]:.3e}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

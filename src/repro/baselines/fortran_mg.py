@@ -1,0 +1,36 @@
+"""Fortran-77 reference style (NPB 2.3 ``mg.f``).
+
+The repository's verified core *is* a structural port of the serial
+NPB 2.3 Fortran reference — expression-order-exact, with the 4-coefficient
+factorization and the shared ``u1``/``u2`` auxiliary buffers.  This module
+packages it behind the common comparison interface.
+"""
+
+from __future__ import annotations
+
+from repro.core.classes import SizeClass
+from repro.core.mg import MGResult, interp_add, psinv, resid, rprj3
+
+from .common import MGImplementation, MGKernels, run_mg
+
+__all__ = ["FortranMG", "FORTRAN_KERNELS"]
+
+FORTRAN_KERNELS = MGKernels(
+    resid=resid,
+    psinv=psinv,
+    rprj3=rprj3,
+    interp_add=interp_add,
+)
+
+
+class FortranMG(MGImplementation):
+    """Serial NPB 2.3 Fortran-77 reference implementation (port)."""
+
+    name = "f77"
+    label = "Fortran-77"
+
+    def solve(self, size_class: str | SizeClass, nit: int | None = None, *,
+              collect_trace: bool = False,
+              keep_history: bool = False) -> MGResult:
+        return run_mg(FORTRAN_KERNELS, size_class, nit,
+                      collect_trace=collect_trace, keep_history=keep_history)

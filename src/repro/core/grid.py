@@ -1,0 +1,85 @@
+"""Extended-grid representation with periodic ghost layers.
+
+NPB MG stores every grid level as an array of shape ``(m+2, m+2, m+2)``
+where ``m`` is the number of owned points per dimension.  The outermost
+layer holds *artificial boundary elements* replicating the opposite face
+(the technique illustrated in the paper's Fig. 5), so that all stencil
+operators become plain fixed-boundary relaxations on the interior.
+
+Axis convention: arrays are C-ordered and indexed ``[i3, i2, i1]`` so the
+Fortran fastest-varying index ``i1`` maps to the contiguous last axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "make_grid",
+    "zero3",
+    "interior",
+    "comm3",
+    "setup_periodic_border",
+    "grid_levels",
+    "level_shape",
+]
+
+
+def make_grid(m: int, dtype=np.float64) -> np.ndarray:
+    """Allocate a zeroed extended grid with ``m`` owned points per dim."""
+    if m < 2:
+        raise ValueError(f"grid interior must be >= 2 points, got {m}")
+    n = m + 2
+    return np.zeros((n, n, n), dtype=dtype)
+
+
+def zero3(u: np.ndarray) -> None:
+    """Clear a grid in place (NPB ``zero3``)."""
+    u[...] = 0.0
+
+
+def interior(u: np.ndarray) -> np.ndarray:
+    """View of the owned points (everything but the ghost layers)."""
+    return u[1:-1, 1:-1, 1:-1]
+
+
+def comm3(u: np.ndarray) -> np.ndarray:
+    """Refresh the periodic ghost layers in place (NPB ``comm3``).
+
+    Sequential full-face copies along axes x, y, z.  Later copies pick up
+    ghost values written by earlier ones, which reproduces the corner and
+    edge values of the Fortran loop nest exactly.
+
+    Returns ``u`` for call chaining.
+    """
+    for axis in (2, 1, 0):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        src_hi = [slice(None)] * 3
+        src_lo = [slice(None)] * 3
+        lo[axis] = 0
+        src_hi[axis] = -2
+        hi[axis] = -1
+        src_lo[axis] = 1
+        u[tuple(lo)] = u[tuple(src_hi)]
+        u[tuple(hi)] = u[tuple(src_lo)]
+    return u
+
+
+def setup_periodic_border(u: np.ndarray) -> np.ndarray:
+    """Pure-functional spelling of :func:`comm3` (paper's
+    ``SetupPeriodicBorder``): returns a new array, input untouched."""
+    return comm3(u.copy())
+
+
+def level_shape(k: int) -> tuple[int, int, int]:
+    """Extended-array shape of multigrid level ``k`` (owned size ``2**k``)."""
+    if k < 1:
+        raise ValueError(f"multigrid level must be >= 1, got {k}")
+    n = (1 << k) + 2
+    return (n, n, n)
+
+
+def grid_levels(lt: int) -> list[tuple[int, int, int]]:
+    """Shapes of levels ``1..lt`` (coarsest first), as NPB lays them out."""
+    return [level_shape(k) for k in range(1, lt + 1)]

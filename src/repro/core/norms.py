@@ -1,0 +1,24 @@
+"""Grid norms (NPB ``norm2u3``)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["norm2u3"]
+
+
+def norm2u3(r: np.ndarray) -> tuple[float, float]:
+    """Return ``(rnm2, rnmu)`` over the interior of an extended grid.
+
+    ``rnm2`` is the RMS norm ``sqrt(sum(r**2) / N)`` with ``N`` the number
+    of interior points; ``rnmu`` is the maximum absolute interior value.
+    These are exactly NPB's ``norm2u3`` outputs — ``rnm2`` after the final
+    iteration is the benchmark's verification quantity.
+    """
+    ri = r[1:-1, 1:-1, 1:-1]
+    n = ri.size
+    rnm2 = math.sqrt(float(np.sum(ri * ri)) / float(n))
+    rnmu = float(np.max(np.abs(ri)))
+    return rnm2, rnmu

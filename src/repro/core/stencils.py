@@ -1,0 +1,252 @@
+"""27-point stencil operators of NAS MG.
+
+All four operators of the benchmark (paper §3: A, S, P, Q) are 27-point
+stencils whose coefficient depends only on the Manhattan-distance class
+of the offset — center (1 point), face (6), edge (12), corner (8).  Each
+operator is therefore fully described by a 4-vector ``c = (c0, c1, c2,
+c3)``:
+
+* ``A``  — residual operator (discrete Poisson), ``(-8/3, 0, 1/6, 1/12)``
+* ``S(a)`` — smoother for classes S/W/A, ``(-3/8, 1/32, -1/64, 0)``
+* ``S(b)`` — smoother for classes B/C, ``(-3/17, 1/33, -1/61, 0)``
+* ``P``  — full-weighting projection, ``(1/2, 1/4, 1/8, 1/16)``
+* ``Q``  — trilinear interpolation, ``(1, 1/2, 1/4, 1/8)``
+
+This module provides a *generic* dense relaxation kernel (apply a
+coefficient-class stencil to every interior point of an extended grid)
+in three arithmetic formulations whose results are identical but whose
+operation counts differ — the distinction at the heart of the paper's §5
+performance analysis:
+
+* :func:`relax_naive`      — 27 multiplies + 26 adds per point,
+* :func:`relax_grouped`    — 4 multiplies per point (group equal
+  coefficients, then one multiply per class),
+* :func:`relax_buffered`   — the Fortran/C hand optimization: grouped
+  multiplies *plus* auxiliary buffers sharing partial plane sums between
+  neighbouring result points, cutting adds to 12–20 depending on which
+  coefficients vanish.
+
+:func:`op_counts` reports the per-point multiply/add counts of each
+formulation for each operator, regenerating the §5 arithmetic claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "A_COEFFS",
+    "S_COEFFS_A",
+    "S_COEFFS_B",
+    "P_COEFFS",
+    "Q_COEFFS",
+    "STENCILS",
+    "offset_class",
+    "offsets_by_class",
+    "stencil_weights_27",
+    "relax_naive",
+    "relax_grouped",
+    "relax_buffered",
+    "OpCount",
+    "op_counts",
+]
+
+#: Residual operator A (paper §3 / NPB ``a``).
+A_COEFFS = (-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0)
+#: Smoother S for classes S, W, A (NPB ``c``, variant S(a)).
+S_COEFFS_A = (-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0.0)
+#: Smoother S for classes B, C (variant S(b)).
+S_COEFFS_B = (-3.0 / 17.0, 1.0 / 33.0, -1.0 / 61.0, 0.0)
+#: Projection P (``rprj3`` full weighting).
+P_COEFFS = (0.5, 0.25, 0.125, 0.0625)
+#: Prolongation Q (``interp`` trilinear weights).
+Q_COEFFS = (1.0, 0.5, 0.25, 0.125)
+
+STENCILS: dict[str, tuple[float, float, float, float]] = {
+    "A": A_COEFFS,
+    "S": S_COEFFS_A,
+    "Sb": S_COEFFS_B,
+    "P": P_COEFFS,
+    "Q": Q_COEFFS,
+}
+
+
+def offset_class(o3: int, o2: int, o1: int) -> int:
+    """Manhattan-distance class of a stencil offset (0..3)."""
+    return abs(o3) + abs(o2) + abs(o1)
+
+
+def offsets_by_class() -> list[list[tuple[int, int, int]]]:
+    """The 27 offsets grouped by distance class: [1, 6, 12, 8] offsets."""
+    groups: list[list[tuple[int, int, int]]] = [[], [], [], []]
+    for o3 in (-1, 0, 1):
+        for o2 in (-1, 0, 1):
+            for o1 in (-1, 0, 1):
+                groups[offset_class(o3, o2, o1)].append((o3, o2, o1))
+    return groups
+
+
+def stencil_weights_27(c) -> np.ndarray:
+    """Expand a coefficient 4-vector into the full (3,3,3) weight cube."""
+    c = np.asarray(c, dtype=np.float64)
+    w = np.empty((3, 3, 3))
+    for o3 in (-1, 0, 1):
+        for o2 in (-1, 0, 1):
+            for o1 in (-1, 0, 1):
+                w[o3 + 1, o2 + 1, o1 + 1] = c[offset_class(o3, o2, o1)]
+    return w
+
+
+def _shift(u: np.ndarray, o3: int, o2: int, o1: int) -> np.ndarray:
+    """Interior-shaped view of ``u`` shifted by an offset triple."""
+
+    def ax(o: int, n: int) -> slice:
+        stop = n - 1 + o
+        return slice(1 + o, stop)
+
+    n3, n2, n1 = u.shape
+    return u[ax(o3, n3), ax(o2, n2), ax(o1, n1)]
+
+
+def relax_naive(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarray:
+    """Apply the stencil with one multiply per neighbour (27 mul, 26 add).
+
+    ``u`` must have valid ghost layers.  Returns an extended grid whose
+    interior holds the stencil result and whose ghosts are zero (callers
+    refresh them with :func:`~repro.core.grid.comm3` when needed).
+    """
+    w = stencil_weights_27(c)
+    if out is None:
+        out = np.zeros_like(u)
+    acc = np.zeros_like(_shift(u, 0, 0, 0))
+    for o3 in (-1, 0, 1):
+        for o2 in (-1, 0, 1):
+            for o1 in (-1, 0, 1):
+                acc += w[o3 + 1, o2 + 1, o1 + 1] * _shift(u, o3, o2, o1)
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+def relax_grouped(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarray:
+    """Apply the stencil with coefficient grouping (4 multiplies).
+
+    Sums each distance class first, then multiplies once per class and
+    skips classes with zero coefficient — the optimization all three of
+    the paper's implementations share.
+    """
+    c = tuple(float(x) for x in c)
+    if out is None:
+        out = np.zeros_like(u)
+    acc = np.zeros_like(_shift(u, 0, 0, 0))
+    for cls, offs in enumerate(offsets_by_class()):
+        if c[cls] == 0.0:
+            continue
+        group = np.zeros_like(acc)
+        for o in offs:
+            group += _shift(u, *o)
+        acc += c[cls] * group
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+def relax_buffered(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarray:
+    """Apply the stencil with the Fortran-77 shared-buffer optimization.
+
+    Precomputes the two plane sums NPB calls ``u1``/``u2`` over the full
+    x extent::
+
+        t1(i1) = u(i1, i2-1, i3) + u(i1, i2+1, i3)
+               + u(i1, i2, i3-1) + u(i1, i2, i3+1)
+        t2(i1) = u(i1, i2-1, i3-1) + u(i1, i2+1, i3-1)
+               + u(i1, i2-1, i3+1) + u(i1, i2+1, i3+1)
+
+    and then combines center/shifted slices of them, re-using each ``t``
+    value for three neighbouring result points.  This is the structure
+    that brings the per-point additions down to 12–20 (paper §5).
+    """
+    c = tuple(float(x) for x in c)
+    if out is None:
+        out = np.zeros_like(u)
+    C = slice(1, -1)  # interior along an axis
+    M = slice(0, -2)  # shifted -1
+    P = slice(2, None)  # shifted +1
+
+    # Full-x-extent plane sums at interior (i3, i2).
+    t1 = u[M, C, :] + u[P, C, :] + u[C, M, :] + u[C, P, :]
+    t2 = u[M, M, :] + u[M, P, :] + u[P, M, :] + u[P, P, :]
+
+    acc = c[0] * u[C, C, C] if c[0] != 0.0 else np.zeros_like(u[C, C, C])
+    if c[1] != 0.0:
+        acc = acc + c[1] * (u[C, C, M] + u[C, C, P] + t1[:, :, C])
+    if c[2] != 0.0:
+        acc = acc + c[2] * (t2[:, :, C] + t1[:, :, M] + t1[:, :, P])
+    if c[3] != 0.0:
+        acc = acc + c[3] * (t2[:, :, M] + t2[:, :, P])
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+@dataclass(frozen=True)
+class OpCount:
+    """Per-interior-point floating operation counts of a formulation."""
+
+    muls: float
+    adds: float
+
+    @property
+    def flops(self) -> float:
+        return self.muls + self.adds
+
+
+def op_counts(c, with_base: bool = False) -> dict[str, OpCount]:
+    """Static per-point op counts for each formulation of stencil ``c``.
+
+    Regenerates the §5 arithmetic analysis: naive 27/26; grouped 4 muls
+    (fewer if coefficients vanish); buffered additionally shares the
+    ``t1``/``t2`` partial sums so each costs 3 adds amortized instead of
+    being recomputed.
+
+    With ``with_base=True`` the combination with a second operand is
+    included (``r = v - A u`` / ``u = u + S r``), one extra add per
+    formulation — the accounting under which the benchmark kernels land
+    in the paper's "12 to 20 additions" window.
+    """
+    c = tuple(float(x) for x in c)
+    base = 1 if with_base else 0
+    nonzero = [x != 0.0 for x in c]
+    class_sizes = (1, 6, 12, 8)
+
+    naive = OpCount(muls=27, adds=26 + base)
+
+    # Grouped: sum members of each nonzero class, multiply once per class,
+    # then add the class products together.
+    g_muls = sum(nonzero)
+    g_adds = sum(sz - 1 for sz, nz in zip(class_sizes, nonzero) if nz)
+    g_adds += max(0, sum(nonzero) - 1) + base
+    grouped = OpCount(muls=g_muls, adds=g_adds)
+
+    # Buffered: t1 and t2 cost 3 adds each per point (shared between the
+    # three x-neighbouring uses).  Combination adds per class:
+    #   c0: center, 0 adds within class
+    #   c1: u(x-1)+u(x+1)+t1      -> 2 adds (+3 amortized for t1)
+    #   c2: t2 + t1(x-1) + t1(x+1)-> 2 adds (t1 already built; +3 for t2)
+    #   c3: t2(x-1)+t2(x+1)       -> 1 add
+    b_adds = 0.0
+    needs_t1 = nonzero[1] or nonzero[2]
+    needs_t2 = nonzero[2] or nonzero[3]
+    if needs_t1:
+        b_adds += 3
+    if needs_t2:
+        b_adds += 3
+    if nonzero[1]:
+        b_adds += 2
+    if nonzero[2]:
+        b_adds += 2
+    if nonzero[3]:
+        b_adds += 1
+    b_adds += max(0, sum(nonzero) - 1) + base
+    buffered = OpCount(muls=g_muls, adds=b_adds)
+
+    return {"naive": naive, "grouped": grouped, "buffered": buffered}

@@ -1,0 +1,131 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+    python -m repro.harness fig11          # simulated Fig. 11
+    python -m repro.harness fig12 fig13    # simulated speedup figures
+    python -m repro.harness ops            # §5 arithmetic analysis
+    python -m repro.harness measure        # real wall-clock comparison
+    python -m repro.harness ablation       # SAC optimizer ablation
+    python -m repro.harness memmgmt        # §5 memory-overhead analysis
+    python -m repro.harness verify -c S    # NPB verification run
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments, report
+
+__all__ = ["main"]
+
+_SIMPLE = {
+    "fig11": (experiments.fig11, report.format_fig11),
+    "fig12": (experiments.fig12, report.format_fig12),
+    "fig13": (experiments.fig13, report.format_fig13),
+    "ops": (experiments.ops_table, report.format_ops),
+    "memmgmt": (experiments.memmgmt_profile, report.format_memmgmt),
+    "related": (experiments.related_work, report.format_related),
+    "future": (experiments.future_scaling, report.format_future),
+}
+
+
+def _run_verify(size_class: str) -> int:
+    from repro.baselines import IMPLEMENTATIONS
+    from repro.core import get_class
+
+    sc = get_class(size_class)
+    print(f"NPB MG class {sc.name}: {sc.nx}^3 grid, {sc.nit} iterations")
+    ok = True
+    for name, impl in IMPLEMENTATIONS.items():
+        res = impl.solve(sc)
+        status = "VERIFIED" if res.verified else "FAILED"
+        ok = ok and res.verified
+        print(f"  {name:<5} rnm2 = {res.rnm2:.12e}  [{status}]")
+    if sc.verify_value is not None:
+        print(f"  official value: {sc.verify_value:.12e}")
+    return 0 if ok else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-mg",
+        description="Regenerate the evaluation of 'Implementing the NAS "
+        "Benchmark MG in SAC' (IPPS 2002).",
+    )
+    parser.add_argument(
+        "commands",
+        nargs="+",
+        choices=sorted(_SIMPLE) + ["measure", "ablation", "verify",
+                                   "npb", "timers", "all"],
+        help="figures/analyses to run",
+    )
+    parser.add_argument(
+        "-c", "--size-class", default="S",
+        help="size class for measure/ablation/verify (default: S)",
+    )
+    parser.add_argument(
+        "-r", "--repeats", type=int, default=3,
+        help="timing repetitions for measured experiments",
+    )
+    parser.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="additionally dump the raw result data as JSON",
+    )
+    args = parser.parse_args(argv)
+
+    commands = list(args.commands)
+    if "all" in commands:
+        commands = ["fig11", "fig12", "fig13", "ops", "memmgmt", "related",
+                    "future", "verify", "npb", "timers", "measure"]
+
+    status = 0
+    first = True
+    collected: dict = {}
+    for cmd in commands:
+        if not first:
+            print()
+        first = False
+        if cmd in _SIMPLE:
+            fn, fmt = _SIMPLE[cmd]
+            data = fn()
+            collected[cmd] = data
+            print(fmt(data))
+        elif cmd == "measure":
+            data = experiments.fig11_measured(args.size_class, args.repeats)
+            collected[cmd] = {"class": data["class"],
+                              "seconds": data["seconds"]}
+            print(report.format_fig11_measured(data))
+        elif cmd == "ablation":
+            data = experiments.sac_ablation(args.size_class,
+                                            repeats=args.repeats)
+            collected[cmd] = data
+            print(report.format_ablation(data))
+        elif cmd == "timers":
+            from .timers import timed_solve
+
+            result, timers = timed_solve(args.size_class)
+            print(f"per-kernel timing, class {args.size_class} "
+                  "(Fortran-style kernels):")
+            print(timers.report())
+            collected[cmd] = {"seconds": timers.seconds,
+                              "calls": timers.calls}
+        elif cmd == "npb":
+            from .npb_report import format_npb_report, npb_report
+
+            rep = npb_report(args.size_class, repeats=args.repeats)
+            collected[cmd] = dict(rep.rows())
+            print(format_npb_report(rep))
+        elif cmd == "verify":
+            status |= _run_verify(args.size_class)
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(collected, fh, indent=2, default=str)
+        print(f"\nraw data written to {args.json}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

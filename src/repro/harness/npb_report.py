@@ -1,0 +1,87 @@
+"""NPB-style benchmark report (the block ``mg.f`` prints at the end).
+
+Computes the floating-point operation count of the timed section from
+the operation trace and the per-kind arithmetic weights, and reports
+Mop/s alongside time and verification — for real runs on this machine
+and for the simulated testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.classes import SizeClass, get_class
+from repro.core.trace import Trace, synthesize_mg_trace
+from repro.machine.calibration import KIND_WEIGHTS
+from repro.machine.costmodel import KIND_IS_SURFACE
+
+__all__ = ["NPBReport", "total_flops", "npb_report", "format_npb_report"]
+
+
+def total_flops(trace: Trace) -> float:
+    """Estimated floating-point operations of a traced run."""
+    flops = 0.0
+    for op in trace:
+        w = KIND_WEIGHTS.get(op.kind, 0.0)
+        pts = 6.0 * op.points ** (2.0 / 3.0) if op.kind in KIND_IS_SURFACE \
+            else float(op.points)
+        flops += pts * w
+    return flops
+
+
+@dataclass(frozen=True)
+class NPBReport:
+    size_class: SizeClass
+    seconds: float
+    mops: float
+    rnm2: float
+    verified: bool
+    implementation: str
+
+    def rows(self) -> list[tuple[str, str]]:
+        sc = self.size_class
+        return [
+            ("Benchmark", "MG"),
+            ("Class", sc.name),
+            ("Size", f"{sc.nx}x{sc.nx}x{sc.nx}"),
+            ("Iterations", str(sc.nit)),
+            ("Time in seconds", f"{self.seconds:.2f}"),
+            ("Mop/s total", f"{self.mops:.2f}"),
+            ("Implementation", self.implementation),
+            ("Verification", "SUCCESSFUL" if self.verified else
+             ("FAILED" if sc.verify_value is not None else "N/A")),
+            ("rnm2", f"{self.rnm2:.13e}"),
+        ]
+
+
+def npb_report(size_class: str | SizeClass, implementation: str = "f77",
+               repeats: int = 1) -> NPBReport:
+    """Run the benchmark and produce the NPB closing report."""
+    from repro.baselines import IMPLEMENTATIONS
+    from repro.harness.timing import measure
+
+    sc = get_class(size_class) if isinstance(size_class, str) else size_class
+    impl = IMPLEMENTATIONS[implementation]
+    result_box = {}
+
+    def run():
+        result_box["result"] = impl.solve(sc)
+
+    m = measure(run, repeats=repeats, warmup=0)
+    result = result_box["result"]
+    flops = total_flops(synthesize_mg_trace(sc.nx, sc.nit))
+    return NPBReport(
+        size_class=sc,
+        seconds=m.seconds,
+        mops=flops / m.seconds / 1e6,
+        rnm2=result.rnm2,
+        verified=result.verified,
+        implementation=impl.label,
+    )
+
+
+def format_npb_report(report: NPBReport) -> str:
+    lines = ["", " MG Benchmark Completed.".center(52, "*"), ""]
+    for key, value in report.rows():
+        lines.append(f" {key:<24}= {value:>24}")
+    return "\n".join(lines)

@@ -1,0 +1,199 @@
+"""Plain-text rendering of the experiment results."""
+
+from __future__ import annotations
+
+from .experiments import IMPL_ORDER
+
+__all__ = [
+    "format_related",
+    "format_future",
+    "format_fig11",
+    "format_fig11_measured",
+    "format_fig12",
+    "format_fig13",
+    "format_ops",
+    "format_ablation",
+    "format_memmgmt",
+]
+
+_LABEL = {"f77": "Fortran-77", "sac": "SAC", "omp": "C/OpenMP",
+          "c": "C port", "sac-lang": "SAC (mini-SAC pipeline)"}
+
+
+def _rule(width: int = 72) -> str:
+    return "-" * width
+
+
+def format_fig11(data: dict) -> str:
+    lines = ["Figure 11 — single processor performance (simulated testbed)",
+             _rule()]
+    lines.append(f"{'class':<7}" + "".join(f"{_LABEL[n]:>14}" for n in IMPL_ORDER))
+    for cls, times in data["seconds"].items():
+        lines.append(
+            f"{cls:<7}" + "".join(f"{times[n]:>13.1f}s" for n in IMPL_ORDER)
+        )
+    lines.append("")
+    lines.append(f"{'class':<7}{'F77 over SAC':>16}{'SAC over C':>16}   (paper)")
+    for cls, g in data["gaps"].items():
+        paper = data["paper_gaps"].get(cls, {})
+        lines.append(
+            f"{cls:<7}{g['f77_over_sac_pct']:>15.1f}%{g['sac_over_c_pct']:>15.1f}%"
+            f"   ({paper.get('f77_over_sac_pct', float('nan')):.1f}%,"
+            f" {paper.get('sac_over_c_pct', float('nan')):.1f}%)"
+        )
+    return "\n".join(lines)
+
+
+def format_fig11_measured(data: dict) -> str:
+    lines = [
+        f"Figure 11 (measured) — class {data['class']} wall-clock on this "
+        "machine (Python substrate)",
+        _rule(),
+    ]
+    for name, secs in data["seconds"].items():
+        lines.append(f"{_LABEL.get(name, name):<26}{secs:>10.3f} s")
+    return "\n".join(lines)
+
+
+def _format_speedups(title: str, speedups: dict) -> list[str]:
+    lines = [title, _rule()]
+    for cls, by_impl in speedups.items():
+        procs = sorted(next(iter(by_impl.values())).keys())
+        lines.append(f"class {cls}:")
+        lines.append("  " + f"{'#CPUs':<12}" + "".join(f"{p:>7}" for p in procs))
+        for name in IMPL_ORDER:
+            row = by_impl[name]
+            lines.append(
+                "  " + f"{_LABEL[name]:<12}"
+                + "".join(f"{row[p]:>7.2f}" for p in procs)
+            )
+    return lines
+
+
+def format_fig12(data: dict) -> str:
+    lines = _format_speedups(
+        "Figure 12 — speedups relative to own sequential time (simulated)",
+        data["speedups"],
+    )
+    lines.append("")
+    lines.append("paper speedups at 10 CPUs: "
+                 + ", ".join(
+                     f"{_LABEL[n]} W={v['W']} A={v['A']}"
+                     for n, v in data["paper_speedup_10"].items()
+                 ))
+    return "\n".join(lines)
+
+
+def format_fig13(data: dict) -> str:
+    lines = _format_speedups(
+        "Figure 13 — speedups relative to sequential Fortran-77 (simulated)",
+        data["speedups"],
+    )
+    lines.append("")
+    for cls, cross in data["crossovers"].items():
+        lines.append(
+            f"class {cls}: SAC passes auto-parallelized F77 at "
+            f"{cross} CPUs (paper: 4)"
+        )
+    return "\n".join(lines)
+
+
+def format_ops(data: dict) -> str:
+    lines = ["§5 stencil arithmetic (per grid point, incl. base combine)",
+             _rule()]
+    lines.append(f"{'stencil':<9}{'naive':>14}{'grouped':>14}{'buffered':>14}")
+    for name, forms in data["rows"].items():
+        cells = []
+        for form in ("naive", "grouped", "buffered"):
+            oc = forms[form]
+            cells.append(f"{oc['muls']:.0f}mul {oc['adds']:.0f}add")
+        lines.append(f"{name:<9}" + "".join(f"{c:>14}" for c in cells))
+    claims = data["paper_claims"]
+    lines.append("")
+    lines.append(
+        f"paper: naive {claims['naive']['muls']} mul / "
+        f"{claims['naive']['adds']} add; grouped -> "
+        f"{claims['grouped_muls']} mul; buffered adds in "
+        f"{claims['buffered_adds_range']}"
+    )
+    return "\n".join(lines)
+
+
+def format_ablation(data: dict) -> str:
+    lines = [f"SAC optimization ablation — class {data['class']} wall-clock",
+             _rule()]
+    base = data["seconds"].get("full")
+    for label, secs in data["seconds"].items():
+        rel = f" ({secs / base:5.2f}x full)" if base else ""
+        lines.append(f"{label:<16}{secs:>10.3f} s{rel}")
+    return "\n".join(lines)
+
+
+def format_future(data: dict) -> str:
+    lines = ["§7 future work, simulated — larger machines and the MPI "
+             "reference", _rule()]
+    for cls, by_impl in data["smp"].items():
+        procs = sorted(next(iter(by_impl.values())).keys())
+        lines.append(f"class {cls} (speedup vs own sequential):")
+        lines.append("  " + f"{'#CPUs':<16}"
+                     + "".join(f"{p:>7}" for p in procs))
+        for name in IMPL_ORDER:
+            row = by_impl[name]
+            lines.append("  " + f"{_LABEL[name]:<16}"
+                         + "".join(f"{row[p]:>7.1f}" for p in procs))
+        mpi = data["mpi"][cls]
+        lines.append("  " + f"{'F77 + MPI':<16}"
+                     + "".join(f"{mpi[p]:>7.1f}" for p in procs))
+        sat = data["saturation"][cls]
+        lines.append(
+            "  saturation (<5 % gain per step): "
+            + ", ".join(f"{_LABEL[n]} at {sat[n]} CPUs" for n in IMPL_ORDER)
+        )
+    lines.append("")
+    lines.append("the paper: scalability limits 'have not yet been reached "
+                 "even for size class W' at 10 CPUs — the model saturates "
+                 "class W well beyond them")
+    return "\n".join(lines)
+
+
+def format_related(data: dict) -> str:
+    claims = data["paper_claims"]
+    lines = ["§6 related-work context (illustrative models; see "
+             "repro.machine.related_work)", _rule()]
+    lines.append(
+        f"HPF vs F77+MPI, sequential: {data['hpf_vs_mpi_seq']:.2f}x slower "
+        f"(paper: ~{claims['hpf_vs_mpi_seq']:.0f}x)"
+    )
+    lines.append(
+        f"HPF vs F77+MPI at 32 CPUs: {data['hpf_vs_mpi_32']:.2f}x slower "
+        f"(paper: ~{claims['hpf_vs_mpi_32']:.0f}x)"
+    )
+    zs = data["zpl_speedups_class_b"]
+    lines.append(
+        "ZPL speedups (class B): "
+        + ", ".join(f"P={p}: {s:.2f}" for p, s in sorted(zs.items()))
+        + f"   (paper: ~{claims['zpl_max_speedup_14']:.0f} at 14 CPUs)"
+    )
+    return "\n".join(lines)
+
+
+def format_memmgmt(data: dict) -> str:
+    lines = [
+        "SAC memory-management overhead (constant "
+        f"{data['per_op_overhead_us']:.0f} µs per operation)",
+        _rule(),
+    ]
+    for cls, row in data["classes"].items():
+        lines.append(
+            f"class {cls}: total {row['total_s']:8.2f} s, overhead "
+            f"{row['overhead_s']:6.2f} s ({100 * row['overhead_share']:.2f} %)"
+        )
+        levels = sorted(row["by_level"])
+        shares = [
+            f"L{lv}:{row['by_level'][lv]['ops']}ops" for lv in levels
+        ]
+        lines.append("   ops by level: " + " ".join(shares))
+    lines.append("")
+    lines.append("the overhead is invariant against grid size, so the small "
+                 "grids at the bottom of the V-cycle dominate it (paper §5)")
+    return "\n".join(lines)

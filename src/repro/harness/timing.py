@@ -1,0 +1,38 @@
+"""Wall-clock measurement helpers for the real (Python) implementations."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["Measurement", "measure"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """Best-of-N wall-clock timing."""
+
+    seconds: float
+    repeats: int
+    all_seconds: tuple[float, ...]
+
+    @property
+    def best(self) -> float:
+        return self.seconds
+
+
+def measure(fn: Callable[[], object], repeats: int = 3,
+            warmup: int = 1) -> Measurement:
+    """Run ``fn`` ``repeats`` times (after ``warmup`` unmeasured runs)
+    and report the minimum — the standard low-noise estimator."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        fn()
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return Measurement(min(times), repeats, tuple(times))

@@ -1,0 +1,37 @@
+"""Calibrated SMP simulator standing in for the paper's 12-CPU SUN
+Ultra Enterprise 4000 (see DESIGN.md for the substitution rationale)."""
+
+from .calibration import (
+    F77_ANCHOR_SECONDS_A,
+    KIND_WEIGHTS,
+    PAPER,
+    PaperTargets,
+    get_profile,
+    profiles,
+    sequential_paper_times,
+)
+from .costmodel import MachineProfile, op_time_seconds
+from .distmem import DistMemMachine, distmem_speedups, simulate_distmem
+from .related_work import related_profiles, related_work_table
+from .smp import SimResult, simulate, simulate_class, speedup_curve
+
+__all__ = [
+    "MachineProfile",
+    "op_time_seconds",
+    "SimResult",
+    "simulate",
+    "simulate_class",
+    "speedup_curve",
+    "profiles",
+    "get_profile",
+    "PAPER",
+    "PaperTargets",
+    "KIND_WEIGHTS",
+    "F77_ANCHOR_SECONDS_A",
+    "sequential_paper_times",
+    "DistMemMachine",
+    "distmem_speedups",
+    "simulate_distmem",
+    "related_profiles",
+    "related_work_table",
+]

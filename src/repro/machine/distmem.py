@@ -1,0 +1,102 @@
+"""Distributed-memory (MPI-style) machine model — the paper's §7 wish.
+
+The paper's future work includes "a direct comparison with the MPI-based
+parallel reference implementation of NAS-MG".  This module provides the
+model needed for that comparison: the NPB 2.x MPI MG decomposes each
+grid level across a 3-D processor mesh; every stencil operation then
+costs its share of the volume work plus a *halo exchange* — six face
+messages with latency and bandwidth terms — and the coarse V-cycle
+levels degenerate until fewer points than processors remain.
+
+The model reuses the calibrated per-point costs of the Fortran profile
+(same arithmetic, different parallelization substrate), adding the
+standard alpha-beta communication model of a 2002-era interconnect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.trace import Trace, TraceOp, synthesize_mg_trace
+
+from .calibration import profiles
+
+__all__ = ["DistMemMachine", "simulate_distmem", "distmem_speedups"]
+
+
+@dataclass(frozen=True)
+class DistMemMachine:
+    """Alpha-beta cluster model on a 3-D processor mesh."""
+
+    #: Per-point compute scale, by trace op kind (ns), e.g. the F77 map.
+    per_point_ns: dict[str, float]
+    #: Message latency (µs) and per-double transfer time (ns).
+    latency_us: float = 25.0
+    ns_per_double: float = 8.0   # ~1 GB/s links
+    #: Per-operation fixed overhead (µs).
+    op_overhead_us: float = 5.0
+
+    def mesh(self, nprocs: int) -> tuple[int, int, int]:
+        """Factor ``nprocs`` into the most cubic 3-D mesh."""
+        best = (nprocs, 1, 1)
+        best_score = None
+        for px in range(1, nprocs + 1):
+            if nprocs % px:
+                continue
+            rest = nprocs // px
+            for py in range(1, rest + 1):
+                if rest % py:
+                    continue
+                pz = rest // py
+                score = max(px, py, pz) / min(px, py, pz)
+                if best_score is None or score < best_score:
+                    best_score = score
+                    best = (px, py, pz)
+        return best
+
+    def op_seconds(self, op: TraceOp, mesh: tuple[int, int, int]) -> float:
+        n = round(op.points ** (1.0 / 3.0))
+        px, py, pz = mesh
+        nprocs = px * py * pz
+        ns = self.per_point_ns.get(op.kind, 0.0)
+        overhead = self.op_overhead_us * 1e-6
+        if op.kind == "comm3":
+            # The halo exchange itself: six faces of the local block.
+            lx, ly, lz = max(1, n // px), max(1, n // py), max(1, n // pz)
+            faces = 2 * (lx * ly + ly * lz + lx * lz)
+            msgs = sum(2 for p in (px, py, pz) if p > 1) or 0
+            return (
+                msgs * self.latency_us * 1e-6
+                + faces * self.ns_per_double * 1e-9
+                + overhead
+            )
+        # Volume work on the local share; a level with fewer points than
+        # processors leaves most ranks idle but still pays the critical
+        # path of one point per rank column.
+        local_points = max(op.points // nprocs, 1)
+        return local_points * ns * 1e-9 + overhead
+
+
+def simulate_distmem(trace: Trace, machine: DistMemMachine,
+                     nprocs: int) -> float:
+    """Simulated seconds of a traced run on ``nprocs`` ranks."""
+    if nprocs < 1:
+        raise ValueError("nprocs must be >= 1")
+    mesh = machine.mesh(nprocs)
+    return sum(machine.op_seconds(op, mesh) for op in trace)
+
+
+def default_machine() -> DistMemMachine:
+    """The F77+MPI machine: Fortran arithmetic on an alpha-beta cluster."""
+    f77 = profiles()["f77"]
+    return DistMemMachine(per_point_ns=dict(f77.per_point_ns))
+
+
+def distmem_speedups(nx: int, nit: int,
+                     procs: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+                     machine: DistMemMachine | None = None) -> dict[int, float]:
+    """Speedup curve of the MPI-style reference on the cluster model."""
+    m = machine or default_machine()
+    trace = synthesize_mg_trace(nx, nit)
+    base = simulate_distmem(trace, m, 1)
+    return {p: base / simulate_distmem(trace, m, p) for p in procs}

@@ -1,0 +1,132 @@
+"""Related-work context models (paper §6).
+
+The paper situates SAC against two other high-level approaches via
+published NAS-MG studies:
+
+* **HPF** [11, 12]: outperformed by the Fortran-77+MPI reference by a
+  factor of *nearly three* on one processor and a factor of *eight* at
+  32 processors.
+* **ZPL** [8]: maximum speedup of ~5 using 14 processors on a comparable
+  Sun Enterprise SMP (classes B/C).
+
+These are *illustrative* profiles derived from exactly those three
+sentences (documented assumptions below) — enough to regenerate the §6
+comparison table alongside the calibrated Fig. 11–13 profiles, clearly
+separated from them.
+
+Assumptions:
+
+* F77+MPI scales like a well-tuned message-passing code: a small serial
+  fraction plus a per-processor communication term, normalized to the
+  same sequential anchor as the Fig. 11 Fortran profile.
+* HPF's single-CPU penalty is a pure per-point scale (x3); its widening
+  gap at 32 CPUs (x8) is expressed through a larger unparallelizable
+  fraction, solved from the two published ratios.
+* ZPL's sequential base is taken slightly better than SAC's (the [8]
+  study found the *then-current* SAC slightly inferior to ZPL); its
+  speedup saturates at ~5 by 14 CPUs, giving its serial fraction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .calibration import KIND_WEIGHTS, _sequential_fit
+from .costmodel import MachineProfile
+from .smp import simulate_class
+
+__all__ = ["related_profiles", "related_work_table"]
+
+_ALL_PARALLEL = frozenset(
+    {"resid", "psinv", "rprj3", "interp", "zero3", "comm3", "norm2u3"}
+)
+
+
+def _solve_beta(target_speedup: float, procs: int) -> float:
+    """Serial fraction giving ``target_speedup`` at ``procs`` CPUs under
+    Amdahl: 1/(b + (1-b)/P) = S."""
+    return (1.0 / target_speedup - 1.0 / procs) / (1.0 - 1.0 / procs)
+
+
+@lru_cache(maxsize=1)
+def related_profiles() -> dict[str, MachineProfile]:
+    """HPF, ZPL and F77+MPI profiles for the §6 comparison."""
+    seq = _sequential_fit()
+    scale_f = seq["f77"][0]
+    scale_s = seq["sac"][0]
+
+    # F77+MPI: near-linear scaling with light per-processor overhead.
+    mpi = MachineProfile(
+        name="f77mpi",
+        label="Fortran-77 + MPI",
+        per_point_ns={k: w * scale_f for k, w in KIND_WEIGHTS.items()},
+        op_overhead_us=10.0,
+        parallel_kinds=_ALL_PARALLEL,
+        fork_base_us=100.0,
+        fork_per_proc_us=15.0,
+        min_parallel_points=512,
+        unparallelizable_fraction=0.005,
+    )
+
+    # HPF: x3 sequential penalty; serial fraction solved so the gap to
+    # MPI reaches x8 at 32 CPUs (MPI itself scales per the profile
+    # above, ~x23 at 32 CPUs; HPF must land near x23*3/8 ~ x8.6).
+    mpi_s32 = (
+        simulate_class(256, 4, mpi, 1).seconds
+        / simulate_class(256, 4, mpi, 32).seconds
+    )
+    hpf_target_speedup = mpi_s32 * 3.0 / 8.0
+    hpf = MachineProfile(
+        name="hpf",
+        label="HPF",
+        per_point_ns={k: w * 3.0 * scale_f for k, w in KIND_WEIGHTS.items()},
+        op_overhead_us=50.0,
+        parallel_kinds=_ALL_PARALLEL,
+        fork_base_us=300.0,
+        fork_per_proc_us=30.0,
+        min_parallel_points=512,
+        unparallelizable_fraction=max(
+            0.0, _solve_beta(hpf_target_speedup, 32)
+        ),
+    )
+
+    # ZPL: sequential base a touch better than SAC's of the era; speedup
+    # saturating at ~5 by 14 CPUs.
+    zpl = MachineProfile(
+        name="zpl",
+        label="ZPL",
+        per_point_ns={k: w * 0.95 * scale_s for k, w in KIND_WEIGHTS.items()},
+        op_overhead_us=80.0,
+        parallel_kinds=_ALL_PARALLEL,
+        fork_base_us=200.0,
+        fork_per_proc_us=20.0,
+        min_parallel_points=2048,
+        unparallelizable_fraction=_solve_beta(5.0, 14),
+    )
+    return {"f77mpi": mpi, "hpf": hpf, "zpl": zpl}
+
+
+def related_work_table() -> dict:
+    """Regenerate the §6 claims from the illustrative profiles."""
+    profs = related_profiles()
+    mpi, hpf, zpl = profs["f77mpi"], profs["hpf"], profs["zpl"]
+
+    t_mpi_1 = simulate_class(256, 4, mpi, 1).seconds
+    t_hpf_1 = simulate_class(256, 4, hpf, 1).seconds
+    t_mpi_32 = simulate_class(256, 4, mpi, 32).seconds
+    t_hpf_32 = simulate_class(256, 4, hpf, 32).seconds
+    zpl_speedups = {
+        p: simulate_class(256, 20, zpl, 1).seconds
+        / simulate_class(256, 20, zpl, p).seconds
+        for p in (1, 2, 4, 8, 14)
+    }
+    return {
+        "hpf_vs_mpi_seq": t_hpf_1 / t_mpi_1,
+        "hpf_vs_mpi_32": t_hpf_32 / t_mpi_32,
+        "zpl_speedups_class_b": zpl_speedups,
+        "paper_claims": {
+            "hpf_vs_mpi_seq": 3.0,
+            "hpf_vs_mpi_32": 8.0,
+            "zpl_max_speedup_14": 5.0,
+        },
+    }

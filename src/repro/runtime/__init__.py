@@ -1,0 +1,44 @@
+"""Implicit SMP parallelization substrate: partitioner, thread team,
+parallel MG kernels and the reference-counting memory model."""
+
+from .executor import ThreadTeam
+from .memory import (
+    ALLOCATING_KINDS,
+    AllocationEvent,
+    RefCountingManager,
+    allocation_events_for_trace,
+)
+from .parallel_mg import (
+    ParallelMG,
+    parallel_interp_add,
+    parallel_psinv,
+    parallel_resid,
+    parallel_rprj3,
+)
+from .scheduler import Chunk, block_partition, chunked_partition, cyclic_partition
+from .shm import ProcessTeam, SharedGrid, process_psinv, process_resid
+from .spmd import DistributedMG, RankComm, World
+
+__all__ = [
+    "ThreadTeam",
+    "Chunk",
+    "block_partition",
+    "cyclic_partition",
+    "chunked_partition",
+    "ParallelMG",
+    "parallel_resid",
+    "parallel_psinv",
+    "parallel_rprj3",
+    "parallel_interp_add",
+    "RefCountingManager",
+    "AllocationEvent",
+    "allocation_events_for_trace",
+    "ALLOCATING_KINDS",
+    "ProcessTeam",
+    "SharedGrid",
+    "process_resid",
+    "process_psinv",
+    "DistributedMG",
+    "RankComm",
+    "World",
+]

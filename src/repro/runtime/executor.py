@@ -1,0 +1,86 @@
+"""Fork-join thread team (the SAC multithreaded runtime's shape).
+
+SAC's compiler emits, for each parallelizable WITH-loop, a fork-join
+region: the master wakes a team of worker threads, each executes its
+share of the iteration space against shared memory, and a barrier joins
+them before sequential execution resumes [13].  :class:`ThreadTeam`
+reproduces that structure with a persistent pool of Python threads
+(NumPy kernels release the GIL for large arrays, so the mechanism is
+real even though this container has a single CPU).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Callable, Sequence
+
+from .scheduler import Chunk, block_partition
+
+__all__ = ["ThreadTeam"]
+
+
+class ThreadTeam:
+    """A reusable fork-join worker team.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly::
+
+        with ThreadTeam(4) as team:
+            team.run(kernel, chunks)
+    """
+
+    def __init__(self, nthreads: int):
+        if nthreads < 1:
+            raise ValueError("a team needs at least one thread")
+        self.nthreads = nthreads
+        self._pool = ThreadPoolExecutor(
+            max_workers=nthreads, thread_name_prefix="sac-worker"
+        )
+        self._closed = False
+        #: Fork-join statistics (parallel regions executed).
+        self.regions = 0
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ThreadTeam":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+            self._closed = True
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, kernel: Callable[[Chunk], None],
+            chunks: Sequence[Chunk]) -> None:
+        """Execute ``kernel`` over all chunks; returns after the barrier.
+
+        Exceptions raised by any worker propagate to the caller (after
+        all workers finished), like a failed SPMD region would abort.
+        """
+        if self._closed:
+            raise RuntimeError("team has been shut down")
+        work = [c for c in chunks if not c.is_empty]
+        with self._lock:
+            self.regions += 1
+        if not work:
+            return
+        if len(work) == 1:
+            kernel(work[0])  # nothing to fork
+            return
+        futures = [self._pool.submit(kernel, c) for c in work]
+        done, _ = wait(futures)
+        for f in done:
+            exc = f.exception()
+            if exc is not None:
+                raise exc
+
+    def run_partitioned(self, kernel: Callable[[Chunk], None],
+                        shape: tuple[int, ...], axis: int = 0) -> None:
+        """Block-partition ``shape`` over the team and run the kernel."""
+        self.run(kernel, block_partition(shape, self.nthreads, axis))

@@ -1,0 +1,141 @@
+"""Reference-counting memory manager model.
+
+SAC manages arrays with dynamic allocation and reference counting; the
+paper's §5 attributes the remaining scalability gap to exactly this:
+*"the absolute overhead incurred by memory management operations is
+invariant against grid sizes involved"*, so small V-cycle grids pay
+proportionally more.  This module provides
+
+* :class:`RefCountingManager` — an allocator model with reference
+  counting, alloc/free event log and live/peak statistics (used by the
+  ABL-MEM experiment and as the source of the machine model's per-op
+  overhead term), and
+* :func:`allocation_events_for_trace` — the allocation behaviour each
+  implementation style exhibits for an MG operation trace: SAC allocates
+  and frees per operation (value semantics), Fortran-77 uses a static
+  layout (no events in the timed section), the C port an almost-static
+  one (paper §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.trace import Trace
+
+__all__ = [
+    "AllocationEvent",
+    "RefCountingManager",
+    "allocation_events_for_trace",
+    "ALLOCATING_KINDS",
+]
+
+
+@dataclass(frozen=True)
+class AllocationEvent:
+    """One allocator action: +1 alloc or -1 free of ``points`` doubles."""
+
+    action: str  # "alloc" | "free"
+    points: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ("alloc", "free"):
+            raise ValueError(f"unknown action {self.action!r}")
+        if self.points <= 0:
+            raise ValueError("allocation size must be positive")
+
+
+class RefCountingManager:
+    """A minimal reference-counting allocator with statistics."""
+
+    def __init__(self) -> None:
+        self._refcounts: dict[int, int] = {}
+        self._sizes: dict[int, int] = {}
+        self._next = 1
+        self.events: list[AllocationEvent] = []
+        self.live_points = 0
+        self.peak_points = 0
+
+    # -- allocator interface -------------------------------------------------
+
+    def allocate(self, points: int) -> int:
+        """Allocate an array of ``points`` elements; returns a handle."""
+        if points <= 0:
+            raise ValueError("allocation size must be positive")
+        handle = self._next
+        self._next += 1
+        self._refcounts[handle] = 1
+        self._sizes[handle] = points
+        self.live_points += points
+        self.peak_points = max(self.peak_points, self.live_points)
+        self.events.append(AllocationEvent("alloc", points))
+        return handle
+
+    def incref(self, handle: int) -> None:
+        self._refcounts[handle] += 1
+
+    def decref(self, handle: int) -> None:
+        """Drop a reference; frees the array at zero (SAC semantics)."""
+        rc = self._refcounts.get(handle)
+        if rc is None:
+            raise KeyError(f"unknown or already-freed handle {handle}")
+        if rc == 1:
+            points = self._sizes.pop(handle)
+            del self._refcounts[handle]
+            self.live_points -= points
+            self.events.append(AllocationEvent("free", points))
+        else:
+            self._refcounts[handle] = rc - 1
+
+    def refcount(self, handle: int) -> int:
+        return self._refcounts.get(handle, 0)
+
+    @property
+    def live_arrays(self) -> int:
+        return len(self._refcounts)
+
+    @property
+    def total_allocs(self) -> int:
+        return sum(1 for e in self.events if e.action == "alloc")
+
+    def alloc_counts_by_size(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for e in self.events:
+            if e.action == "alloc":
+                out[e.points] = out.get(e.points, 0) + 1
+        return out
+
+
+#: Trace op kinds that produce a fresh array under value semantics.
+ALLOCATING_KINDS = ("resid", "psinv", "rprj3", "interp", "zero3")
+
+#: Allocations per timed-section op, by implementation style.
+_STYLE_ALLOC_RATE = {
+    # SAC: every WITH-loop result is a fresh dynamically managed array,
+    # plus the border-setup temporary of each stencil op.
+    "sac": {"resid": 2, "psinv": 2, "rprj3": 2, "interp": 1, "zero3": 1},
+    # The C port keeps an almost static layout (paper §5): a few
+    # per-level scratch buffers are reused; no steady-state allocation.
+    "c": {},
+    # Fortran-77: fully static memory layout.
+    "f77": {},
+}
+
+
+def allocation_events_for_trace(trace: Trace, style: str) -> list[AllocationEvent]:
+    """Allocator events a given implementation style generates for a
+    benchmark operation trace (timed section only)."""
+    try:
+        rates = _STYLE_ALLOC_RATE[style]
+    except KeyError:
+        raise KeyError(
+            f"unknown implementation style {style!r}; "
+            f"known: {sorted(_STYLE_ALLOC_RATE)}"
+        ) from None
+    mgr = RefCountingManager()
+    for op in trace:
+        n = rates.get(op.kind, 0)
+        for _ in range(n):
+            handle = mgr.allocate(op.points)
+            mgr.decref(handle)
+    return mgr.events

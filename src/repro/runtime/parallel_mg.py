@@ -1,0 +1,218 @@
+"""Shared-memory parallel MG kernels (implicit parallelization target).
+
+Each V-cycle kernel is expressed as a *chunk kernel* over a range of
+result planes plus a fork-join dispatch through a :class:`ThreadTeam` —
+exactly the code shape the SAC compiler emits for its multithreaded
+WITH-loops.  Workers write disjoint plane slabs of the shared output
+array; the border exchange (``comm3``) runs on the master between
+regions, as in SAC's runtime.
+
+Per-element arithmetic matches the serial kernels expression-for-
+expression, so parallel results are bit-identical to serial ones for
+any team size (tested) — determinism the paper's runtime also provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classes import SizeClass, get_class
+from repro.core.grid import comm3, make_grid
+from repro.core.mg import MGResult
+from repro.core.norms import norm2u3
+from repro.core.stencils import A_COEFFS, S_COEFFS_A, S_COEFFS_B
+from repro.core.zran3 import zran3
+
+from .executor import ThreadTeam
+from .scheduler import Chunk, block_partition
+
+__all__ = [
+    "resid_chunk",
+    "psinv_chunk",
+    "rprj3_chunk",
+    "interp_chunk",
+    "parallel_resid",
+    "parallel_psinv",
+    "parallel_rprj3",
+    "parallel_interp_add",
+    "ParallelMG",
+]
+
+_C = slice(1, -1)
+_M = slice(0, -2)
+_P = slice(2, None)
+
+
+def _zrange(z0: int, z1: int, off: int = 0) -> slice:
+    """Extended-array slice of interior planes ``z0..z1`` shifted by
+    ``off`` (interior plane ``p`` lives at extended index ``p + 1``)."""
+    return slice(z0 + 1 + off, z1 + 1 + off)
+
+
+# ---------------------------------------------------------------------------
+# Chunk kernels (a range of result planes each).
+# ---------------------------------------------------------------------------
+
+def resid_chunk(u: np.ndarray, v: np.ndarray, a, r: np.ndarray,
+                z0: int, z1: int) -> None:
+    """``r = v - A u`` on interior planes ``[z0, z1)``."""
+    a = tuple(float(x) for x in a)
+    zc, zm, zp = _zrange(z0, z1), _zrange(z0, z1, -1), _zrange(z0, z1, +1)
+    u1 = u[zc, _M, :] + u[zc, _P, :] + u[zm, _C, :] + u[zp, _C, :]
+    u2 = u[zm, _M, :] + u[zm, _P, :] + u[zp, _M, :] + u[zp, _P, :]
+    acc = v[zc, _C, _C] - a[0] * u[zc, _C, _C]
+    if a[1] != 0.0:
+        acc = acc - a[1] * ((u[zc, _C, _M] + u[zc, _C, _P]) + u1[:, :, _C])
+    acc = acc - a[2] * ((u2[:, :, _C] + u1[:, :, _M]) + u1[:, :, _P])
+    acc = acc - a[3] * (u2[:, :, _M] + u2[:, :, _P])
+    r[zc, _C, _C] = acc
+
+
+def psinv_chunk(r: np.ndarray, u: np.ndarray, c,
+                z0: int, z1: int) -> None:
+    """``u += S r`` on interior planes ``[z0, z1)``."""
+    c = tuple(float(x) for x in c)
+    zc, zm, zp = _zrange(z0, z1), _zrange(z0, z1, -1), _zrange(z0, z1, +1)
+    r1 = r[zc, _M, :] + r[zc, _P, :] + r[zm, _C, :] + r[zp, _C, :]
+    r2 = r[zm, _M, :] + r[zm, _P, :] + r[zp, _M, :] + r[zp, _P, :]
+    acc = u[zc, _C, _C] + c[0] * r[zc, _C, _C]
+    acc = acc + c[1] * ((r[zc, _C, _M] + r[zc, _C, _P]) + r1[:, :, _C])
+    acc = acc + c[2] * ((r2[:, :, _C] + r1[:, :, _M]) + r1[:, :, _P])
+    if c[3] != 0.0:
+        acc = acc + c[3] * (r2[:, :, _M] + r2[:, :, _P])
+    u[zc, _C, _C] = acc
+
+
+def rprj3_chunk(r: np.ndarray, s: np.ndarray, j0: int, j1: int) -> None:
+    """Project fine ``r`` onto coarse planes ``[j0, j1)`` of ``s``.
+
+    ``r`` may be a z-slab: the x/y slicing is derived from the (cubic)
+    x/y extent, the plane indices from the given range."""
+    n = r.shape[1]
+    c1 = slice(2, n - 1, 2)
+    m1 = slice(1, n - 2, 2)
+    p1 = slice(3, n, 2)
+    ox = slice(1, n, 2)
+    # Fine center planes for coarse interior planes j (0-based interior).
+    zc = slice(2 * (j0 + 1), 2 * j1 + 1, 2)
+    zm = slice(2 * (j0 + 1) - 1, 2 * j1, 2)
+    zp = slice(2 * (j0 + 1) + 1, 2 * j1 + 2, 2)
+    x1 = r[zc, m1, ox] + r[zc, p1, ox] + r[zm, c1, ox] + r[zp, c1, ox]
+    y1 = r[zm, m1, ox] + r[zp, m1, ox] + r[zm, p1, ox] + r[zp, p1, ox]
+    x2 = r[zc, m1, c1] + r[zc, p1, c1] + r[zm, c1, c1] + r[zp, c1, c1]
+    y2 = r[zm, m1, c1] + r[zp, m1, c1] + r[zm, p1, c1] + r[zp, p1, c1]
+    acc = 0.5 * r[zc, c1, c1]
+    acc = acc + 0.25 * ((r[zc, c1, m1] + r[zc, c1, p1]) + x2)
+    acc = acc + 0.125 * ((x1[:, :, :-1] + x1[:, :, 1:]) + y2)
+    acc = acc + 0.0625 * (y1[:, :, :-1] + y1[:, :, 1:])
+    s[_zrange(j0, j1), 1:-1, 1:-1] = acc
+
+
+def interp_chunk(z: np.ndarray, u: np.ndarray, j0: int, j1: int) -> None:
+    """Prolongate coarse plane rows ``[j0, j1)`` (0..m inclusive range)
+    into fine ``u``.  Each coarse row ``j`` owns fine planes ``2j`` and
+    ``2j+1``, so slabs of distinct ``j`` never overlap.  ``z``/``u`` may
+    be z-slabs: the x/y slicing derives from the (cubic) x/y extent."""
+    n = u.shape[1]
+    L = slice(0, -1)
+    H = slice(1, None)
+    E = slice(0, n - 1, 2)
+    O = slice(1, n, 2)
+    for j3 in range(j0, j1):
+        zc, zn = z[j3], z[j3 + 1]
+        z1 = zc[H, :] + zc[L, :]
+        z2 = zn[L, :] + zc[L, :]
+        z3 = (zn[H, :] + zn[L, :]) + z1
+        e3, o3 = 2 * j3, 2 * j3 + 1
+        u[e3, E, E] += zc[L, L]
+        u[e3, E, O] += 0.5 * (zc[L, H] + zc[L, L])
+        u[e3, O, E] += 0.5 * z1[:, :-1]
+        u[e3, O, O] += 0.25 * (z1[:, :-1] + z1[:, 1:])
+        u[o3, E, E] += 0.5 * z2[:, :-1]
+        u[o3, E, O] += 0.25 * (z2[:, :-1] + z2[:, 1:])
+        u[o3, O, E] += 0.25 * z3[:, :-1]
+        u[o3, O, O] += 0.125 * (z3[:, :-1] + z3[:, 1:])
+
+
+# ---------------------------------------------------------------------------
+# Fork-join wrappers.
+# ---------------------------------------------------------------------------
+
+def _plane_chunks(nplanes: int, team: ThreadTeam) -> list[Chunk]:
+    return block_partition((nplanes,), team.nthreads)
+
+
+def parallel_resid(u: np.ndarray, v: np.ndarray, a, team: ThreadTeam) -> np.ndarray:
+    r = np.zeros_like(u)
+    m = u.shape[0] - 2
+    team.run(lambda c: resid_chunk(u, v, a, r, c.lo[0], c.hi[0]),
+             _plane_chunks(m, team))
+    comm3(r)
+    return r
+
+
+def parallel_psinv(r: np.ndarray, u: np.ndarray, c, team: ThreadTeam) -> np.ndarray:
+    m = u.shape[0] - 2
+    team.run(lambda ch: psinv_chunk(r, u, c, ch.lo[0], ch.hi[0]),
+             _plane_chunks(m, team))
+    comm3(u)
+    return u
+
+
+def parallel_rprj3(r: np.ndarray, team: ThreadTeam) -> np.ndarray:
+    nf = r.shape[0] - 2
+    if nf < 4 or nf % 2:
+        raise ValueError(f"cannot project a grid with interior {nf}")
+    s = make_grid(nf // 2)
+    mj = nf // 2
+    team.run(lambda c: rprj3_chunk(r, s, c.lo[0], c.hi[0]),
+             _plane_chunks(mj, team))
+    comm3(s)
+    return s
+
+
+def parallel_interp_add(z: np.ndarray, u: np.ndarray, team: ThreadTeam) -> np.ndarray:
+    m = z.shape[0] - 2
+    nf = u.shape[0] - 2
+    if nf != 2 * m:
+        raise ValueError(f"interp shape mismatch: coarse {m} fine {nf}")
+    team.run(lambda c: interp_chunk(z, u, c.lo[0], c.hi[0]),
+             _plane_chunks(m + 1, team))
+    return u
+
+
+class ParallelMG:
+    """The full benchmark through the fork-join kernels."""
+
+    def __init__(self, nthreads: int):
+        self.nthreads = nthreads
+
+    def solve(self, size_class: str | SizeClass,
+              nit: int | None = None) -> MGResult:
+        sc = get_class(size_class) if isinstance(size_class, str) else size_class
+        iters = sc.nit if nit is None else nit
+        a = A_COEFFS
+        c = S_COEFFS_A if sc.smoother == "a" else S_COEFFS_B
+        lt, lb = sc.lt, 1
+        with ThreadTeam(self.nthreads) as team:
+            u = make_grid(sc.nx)
+            v = zran3(sc.nx)
+            r = {lt: parallel_resid(u, v, a, team)}
+            for _ in range(iters):
+                for k in range(lt, lb, -1):
+                    r[k - 1] = parallel_rprj3(r[k], team)
+                uk = make_grid(1 << lb)
+                parallel_psinv(r[lb], uk, c, team)
+                u_levels = {lb: uk}
+                for k in range(lb + 1, lt):
+                    uk = make_grid(1 << k)
+                    parallel_interp_add(u_levels[k - 1], uk, team)
+                    r[k] = parallel_resid(uk, r[k], a, team)
+                    parallel_psinv(r[k], uk, c, team)
+                    u_levels[k] = uk
+                parallel_interp_add(u_levels[lt - 1], u, team)
+                r[lt] = parallel_resid(u, v, a, team)
+                parallel_psinv(r[lt], u, c, team)
+                r[lt] = parallel_resid(u, v, a, team)
+            rnm2, rnmu = norm2u3(r[lt])
+        return MGResult(sc, rnm2, rnmu, u, r[lt])

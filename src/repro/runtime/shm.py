@@ -1,0 +1,185 @@
+"""Process-based shared-memory execution.
+
+The thread team (:mod:`repro.runtime.executor`) shows the fork-join
+structure; this module backs it with *operating-system* shared memory
+(`multiprocessing.shared_memory`) and worker processes, so the parallel
+kernels genuinely run in separate address spaces writing one shared
+grid — the setting SAC's SMP backend targets.
+
+* :class:`SharedGrid` — an extended MG grid backed by a named shared
+  memory segment; picklable by handle, so workers attach to the same
+  storage instead of copying.
+* :class:`ProcessTeam` — a pool of worker processes executing module-
+  level chunk kernels over shared grids.
+* :func:`process_resid` / :func:`process_psinv` — the V-cycle stencil
+  kernels dispatched over a process team (bit-identical to serial,
+  tested).
+
+A full process-parallel MG solve is intentionally not provided: on the
+coarse V-cycle grids, per-dispatch IPC dwarfs the work (the same
+overhead-vs-grid-size effect the paper analyses for SAC's memory
+manager, several orders of magnitude larger).  The kernels demonstrate
+the mechanism where it makes sense — the fine grids.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.core.grid import comm3
+
+from .parallel_mg import psinv_chunk, resid_chunk
+from .scheduler import Chunk, block_partition
+
+__all__ = ["SharedGrid", "ProcessTeam", "process_resid", "process_psinv"]
+
+
+class SharedGrid:
+    """An extended grid in a named shared-memory segment.
+
+    Create with :meth:`create` (owner) or receive via pickling (workers
+    attach by name).  The owner must call :meth:`unlink` (or use the
+    context manager) when done.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 shape: tuple[int, ...], owner: bool):
+        self._shm = shm
+        self.shape = shape
+        self._owner = owner
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def create(cls, m: int) -> "SharedGrid":
+        """Allocate a zeroed extended grid with interior ``m`` per dim."""
+        shape = (m + 2,) * 3
+        nbytes = int(np.prod(shape)) * 8
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        grid = cls(shm, shape, owner=True)
+        grid.array[...] = 0.0
+        return grid
+
+    @classmethod
+    def from_array(cls, a: np.ndarray) -> "SharedGrid":
+        grid = cls.create(a.shape[0] - 2)
+        grid.array[...] = a
+        return grid
+
+    @classmethod
+    def _attach(cls, name: str, shape: tuple[int, ...]) -> "SharedGrid":
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm, shape, owner=False)
+
+    def __reduce__(self):
+        return (SharedGrid._attach, (self._shm.name, self.shape))
+
+    # -- access ---------------------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        return np.ndarray(self.shape, dtype=np.float64, buffer=self._shm.buf)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        self._shm.close()
+
+    def unlink(self) -> None:
+        self.close()
+        if self._owner:
+            self._shm.unlink()
+            self._owner = False
+
+    def __enter__(self) -> "SharedGrid":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.unlink()
+
+
+# Module-level kernels (must be picklable for the worker pool).
+
+def _worker_resid(args) -> None:
+    u, v, r, a, z0, z1 = args
+    try:
+        resid_chunk(u.array, v.array, a, r.array, z0, z1)
+    finally:
+        u.close()
+        v.close()
+        r.close()
+
+
+def _worker_psinv(args) -> None:
+    r, u, c, z0, z1 = args
+    try:
+        psinv_chunk(r.array, u.array, c, z0, z1)
+    finally:
+        r.close()
+        u.close()
+
+
+class ProcessTeam:
+    """A fork-join pool of worker *processes* over shared grids."""
+
+    def __init__(self, nworkers: int):
+        if nworkers < 1:
+            raise ValueError("a team needs at least one worker")
+        self.nworkers = nworkers
+        ctx = mp.get_context("fork" if "fork" in mp.get_all_start_methods()
+                             else "spawn")
+        self._pool = ctx.Pool(processes=nworkers)
+        self._closed = False
+
+    def __enter__(self) -> "ProcessTeam":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def shutdown(self) -> None:
+        if not self._closed:
+            self._pool.close()
+            self._pool.join()
+            self._closed = True
+
+    def map(self, fn, tasks) -> None:
+        if self._closed:
+            raise RuntimeError("team has been shut down")
+        self._pool.map(fn, list(tasks))
+
+    def plane_chunks(self, nplanes: int) -> list[Chunk]:
+        return [c for c in block_partition((nplanes,), self.nworkers)
+                if not c.is_empty]
+
+
+def process_resid(u: SharedGrid, v: SharedGrid, a,
+                  team: ProcessTeam) -> SharedGrid:
+    """``r = v - A u`` computed by worker processes; returns a fresh
+    shared grid with refreshed borders."""
+    m = u.shape[0] - 2
+    r = SharedGrid.create(m)
+    tasks = [
+        (u, v, r, tuple(a), c.lo[0], c.hi[0])
+        for c in team.plane_chunks(m)
+    ]
+    team.map(_worker_resid, tasks)
+    comm3(r.array)
+    return r
+
+
+def process_psinv(r: SharedGrid, u: SharedGrid, c,
+                  team: ProcessTeam) -> SharedGrid:
+    """``u += S r`` in shared memory, then refresh borders."""
+    m = u.shape[0] - 2
+    tasks = [
+        (r, u, tuple(c), ch.lo[0], ch.hi[0])
+        for ch in team.plane_chunks(m)
+    ]
+    team.map(_worker_psinv, tasks)
+    comm3(u.array)
+    return u

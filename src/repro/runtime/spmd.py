@@ -1,0 +1,341 @@
+"""SPMD distributed-memory MG — the paper's §7 comparison target, built.
+
+The NPB parallel reference implements MG in MPI style: each rank owns a
+slab of every (sufficiently large) grid level, stencil sweeps exchange
+halo planes with ring neighbours, and the coarse end of the V-cycle is
+handled specially.  This module implements that structure faithfully:
+
+* **z-slab decomposition** on every level with at least two planes per
+  rank; each rank stores its planes in an extended array whose two extra
+  z planes are the halos,
+* **halo exchange**: x/y borders are rank-local face copies; the z
+  borders travel to the ring neighbours — the periodic wrap is the ring
+  itself,
+* **coarse-level replication**: below the switch level the grids are
+  too small to split, so they are allgathered once and every rank
+  redundantly runs the identical serial V-cycle bottom (a standard
+  technique, and the honest analogue of NPB's coarse-grid handling),
+* the verification norm is an allreduce.
+
+Ranks are executed as threads with explicit message channels — the
+communication structure of MPI without requiring an MPI runtime (the
+per-element arithmetic reuses the expression-order-exact chunk kernels,
+so the solution fields are bit-identical to the serial solver; only the
+final *norm's* summation order differs, as it does for real MPI too).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.classes import SizeClass, get_class
+from repro.core.grid import comm3, make_grid
+from repro.core.mg import MGResult, interp_add, psinv, resid, rprj3
+from repro.core.stencils import A_COEFFS, S_COEFFS_A, S_COEFFS_B
+from repro.core.zran3 import zran3
+
+from .parallel_mg import interp_chunk, psinv_chunk, resid_chunk, rprj3_chunk
+
+__all__ = ["DistributedMG", "RankComm", "World"]
+
+
+class _Channel:
+    """One-directional message link between two ranks."""
+
+    def __init__(self) -> None:
+        self._q: queue.Queue = queue.Queue()
+
+    def send(self, payload) -> None:
+        self._q.put(payload)
+
+    def recv(self, timeout: float = 60.0):
+        return self._q.get(timeout=timeout)
+
+
+class World:
+    """The communication fabric of one SPMD run."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError("world size must be >= 1")
+        self.size = size
+        # ring links: up[r] carries messages r -> (r+1)%P,
+        #             down[r] carries messages r -> (r-1)%P.
+        self._up = [_Channel() for _ in range(size)]
+        self._down = [_Channel() for _ in range(size)]
+        self._barrier = threading.Barrier(size)
+        self._gather_slots: list = [None] * size
+        self.failure: BaseException | None = None
+
+    def comm(self, rank: int) -> "RankComm":
+        return RankComm(self, rank)
+
+
+@dataclass
+class RankComm:
+    """One rank's view of the world."""
+
+    world: World
+    rank: int
+
+    @property
+    def size(self) -> int:
+        return self.world.size
+
+    def barrier(self) -> None:
+        self.world._barrier.wait(timeout=60.0)
+
+    # -- ring halo exchange ---------------------------------------------------
+
+    def exchange_halos(self, first_interior: np.ndarray,
+                       last_interior: np.ndarray):
+        """Send boundary planes around the periodic ring; returns the
+        (lower, upper) halo planes for this rank."""
+        w = self.world
+        r, p = self.rank, self.size
+        if p == 1:
+            return last_interior, first_interior
+        w._up[r].send(last_interior)      # to rank r+1: its lower halo
+        w._down[r].send(first_interior)   # to rank r-1: its upper halo
+        lower = w._up[(r - 1) % p].recv()
+        upper = w._down[(r + 1) % p].recv()
+        return lower, upper
+
+    # -- collectives ------------------------------------------------------------
+
+    def allgather(self, value):
+        """Every rank contributes ``value``; all receive the rank-ordered
+        list (two-phase with barriers; deterministic)."""
+        w = self.world
+        w._gather_slots[self.rank] = value
+        self.barrier()
+        out = list(w._gather_slots)
+        self.barrier()
+        return out
+
+    def allreduce_sum(self, value: float) -> float:
+        parts = self.allgather(float(value))
+        return float(sum(parts))  # rank order: deterministic
+
+
+# ---------------------------------------------------------------------------
+# Slab helpers.
+# ---------------------------------------------------------------------------
+
+def _local_comm3(slab: np.ndarray, comm: RankComm) -> None:
+    """Refresh a slab's borders: local x/y faces, ring-exchanged z halos.
+
+    Order matches the serial ``comm3`` (x, then y, then z): the z planes
+    are exchanged after the local face copies, so the received halos
+    carry their owner's corrected x/y borders — corner values come out
+    exactly as in the sequential loop nest.
+    """
+    for axis in (2, 1):
+        lo = [slice(None)] * 3
+        hi = [slice(None)] * 3
+        src_hi = [slice(None)] * 3
+        src_lo = [slice(None)] * 3
+        lo[axis] = 0
+        src_hi[axis] = -2
+        hi[axis] = -1
+        src_lo[axis] = 1
+        slab[tuple(lo)] = slab[tuple(src_hi)]
+        slab[tuple(hi)] = slab[tuple(src_lo)]
+    lower, upper = comm.exchange_halos(slab[1].copy(), slab[-2].copy())
+    slab[0] = lower
+    slab[-1] = upper
+
+
+def _slab_from_full(full: np.ndarray, z0: int, nzl: int) -> np.ndarray:
+    """Cut this rank's slab (with halo planes) out of a full grid."""
+    return full[z0 : z0 + nzl + 2].copy()
+
+
+def _assemble_full(parts: list[np.ndarray], n: int) -> np.ndarray:
+    """Rebuild a full extended grid from rank-ordered interior slabs."""
+    full = make_grid(n)
+    z = 1
+    for part in parts:
+        full[z : z + part.shape[0]] = part
+        z += part.shape[0]
+    comm3(full)
+    return full
+
+
+# ---------------------------------------------------------------------------
+# The SPMD solver.
+# ---------------------------------------------------------------------------
+
+class DistributedMG:
+    """NAS MG across ``nranks`` SPMD ranks with slab decomposition."""
+
+    def __init__(self, nranks: int):
+        if nranks < 1 or nranks & (nranks - 1):
+            raise ValueError("nranks must be a power of two")
+        self.nranks = nranks
+
+    # levels with at least 2 planes per rank are distributed.
+    def _distributed(self, k: int) -> bool:
+        return (1 << k) >= 2 * self.nranks
+
+    def solve(self, size_class: str | SizeClass,
+              nit: int | None = None) -> MGResult:
+        sc = get_class(size_class) if isinstance(size_class, str) else size_class
+        # The top two levels must be distributed so the V-cycle's special
+        # finest-level handling stays in the distributed code path.
+        if (1 << (sc.lt - 1)) < 2 * self.nranks:
+            raise ValueError(
+                f"class {sc.name} ({sc.nx}^3) is too small for "
+                f"{self.nranks} ranks (needs nx >= 4 * nranks)"
+            )
+        iters = sc.nit if nit is None else nit
+        world = World(self.nranks)
+        results: list = [None] * self.nranks
+        threads = []
+        for r in range(self.nranks):
+            t = threading.Thread(
+                target=self._rank_main,
+                args=(world.comm(r), sc, iters, results),
+                name=f"mg-rank-{r}",
+                daemon=True,
+            )
+            threads.append(t)
+            t.start()
+        for t in threads:
+            t.join(timeout=600.0)
+        if world.failure is not None:
+            raise world.failure
+        if any(res is None for res in results):
+            raise RuntimeError("an SPMD rank did not finish")
+        rnm2, rnmu, u_full, r_full = results[0]
+        return MGResult(sc, rnm2, rnmu, u_full, r_full)
+
+    # -- per-rank program -------------------------------------------------------
+
+    def _rank_main(self, comm: RankComm, sc: SizeClass, iters: int,
+                   results: list) -> None:
+        try:
+            results[comm.rank] = self._run_rank(comm, sc, iters)
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            comm.world.failure = exc
+            results[comm.rank] = None
+
+    def _plane_range(self, k: int, rank: int) -> tuple[int, int]:
+        nz = 1 << k
+        per = nz // self.nranks
+        return rank * per, per
+
+    def _run_rank(self, comm: RankComm, sc: SizeClass, iters: int):
+        a = A_COEFFS
+        c = S_COEFFS_A if sc.smoother == "a" else S_COEFFS_B
+        lt = sc.lt
+        rank = comm.rank
+
+        # Replicated, deterministic setup; each rank keeps its slab.
+        v_full = zran3(sc.nx)
+        z0, nzl = self._plane_range(lt, rank)
+        v = _slab_from_full(v_full, z0, nzl)
+        u = np.zeros_like(v)
+
+        r_levels: dict[int, np.ndarray] = {}
+        r_levels[lt] = self._resid_dist(u, v, a, comm)
+
+        for _ in range(iters):
+            self._v_cycle(u, v, r_levels, a, c, lt, comm)
+            r_levels[lt] = self._resid_dist(u, v, a, comm)
+
+        # Verification norm: allreduce of the interior partial sums.
+        ri = r_levels[lt][1:-1, 1:-1, 1:-1]
+        total_sq = comm.allreduce_sum(float(np.sum(ri * ri)))
+        local_max = float(np.max(np.abs(ri)))
+        global_max = max(comm.allgather(local_max))
+        rnm2 = float(np.sqrt(total_sq / sc.nx ** 3))
+
+        # Rank 0 assembles the full fields for the caller.
+        u_parts = comm.allgather(u[1:-1])
+        r_parts = comm.allgather(r_levels[lt][1:-1])
+        u_full = _assemble_full(u_parts, sc.nx)
+        r_full = _assemble_full(r_parts, sc.nx)
+        return rnm2, global_max, u_full, r_full
+
+    # -- distributed kernels ------------------------------------------------------
+
+    def _resid_dist(self, u, v, a, comm) -> np.ndarray:
+        r = np.zeros_like(u)
+        resid_chunk(u, v, a, r, 0, u.shape[0] - 2)
+        _local_comm3(r, comm)
+        return r
+
+    def _psinv_dist(self, r, u, c, comm) -> None:
+        psinv_chunk(r, u, c, 0, u.shape[0] - 2)
+        _local_comm3(u, comm)
+
+    def _rprj3_dist(self, r_fine, comm) -> np.ndarray:
+        """Distributed fine -> distributed coarse (both slab-aligned)."""
+        nzl_f = r_fine.shape[0] - 2
+        nzl_c = nzl_f // 2
+        n_f = r_fine.shape[1] - 2
+        s = np.zeros((nzl_c + 2, n_f // 2 + 2, n_f // 2 + 2))
+        rprj3_chunk(r_fine, s, 0, nzl_c)
+        _local_comm3(s, comm)
+        return s
+
+    def _interp_dist(self, z_coarse, u_fine, comm) -> None:
+        """Distributed coarse -> distributed fine.
+
+        Fine planes 2j and 2j+1 come from coarse rows j and j+1; the
+        coarse slab's upper halo provides the j+1 row at the slab edge.
+        interp_chunk writes fine planes 2*j0..2*j1+1; with local coarse
+        rows 0..nzl_c (the slab array includes the halos at index 0 and
+        nzl_c+1) the rows 1..nzl_c produce exactly the owned fine planes
+        1..2*nzl_c, plus the boundary contributions that land in the
+        halo planes — which the trailing exchange overwrites correctly.
+        """
+        interp_chunk(z_coarse, u_fine, 0, z_coarse.shape[0] - 1)
+        _local_comm3(u_fine, comm)
+
+    # -- the V-cycle ----------------------------------------------------------------
+
+    def _v_cycle(self, u, v, r_levels, a, c, lt, comm) -> None:
+        lb = 1
+        switch = None  # coarsest distributed level
+        # Down cycle: distributed projections while both levels split.
+        k = lt
+        while k - 1 >= lb and self._distributed(k) and self._distributed(k - 1):
+            r_levels[k - 1] = self._rprj3_dist(r_levels[k], comm)
+            k -= 1
+        switch = k
+        # Switch: allgather the residual of level `switch` and continue
+        # serially (replicated) below it.
+        parts = comm.allgather(r_levels[switch][1:-1])
+        r_full = {switch: _assemble_full(parts, 1 << switch)}
+        for j in range(switch, lb, -1):
+            r_full[j - 1] = rprj3(r_full[j])
+        uk = make_grid(1 << lb)
+        psinv(r_full[lb], uk, c)
+        u_rep = {lb: uk}
+        for j in range(lb + 1, switch + 1):
+            uj = make_grid(1 << j)
+            interp_add(u_rep[j - 1], uj)
+            r_full[j] = resid(uj, r_full[j], a)
+            psinv(r_full[j], uj, c)
+            u_rep[j] = uj
+        # Re-split the switch-level solution and residual into slabs.
+        z0, nzl = self._plane_range(switch, comm.rank)
+        u_slab = _slab_from_full(u_rep[switch], z0, nzl)
+        r_levels[switch] = _slab_from_full(r_full[switch], z0, nzl)
+        # Up cycle: distributed levels above the switch.
+        for k in range(switch + 1, lt):
+            u_next = np.zeros_like(r_levels[k])
+            self._interp_dist(u_slab, u_next, comm)
+            r_levels[k] = self._resid_dist(u_next, r_levels[k], a, comm)
+            self._psinv_dist(r_levels[k], u_next, c, comm)
+            u_slab = u_next
+        # Finest level: correct u itself.
+        self._interp_dist(u_slab, u, comm)
+        r_levels[lt] = self._resid_dist(u, v, a, comm)
+        self._psinv_dist(r_levels[lt], u, c, comm)

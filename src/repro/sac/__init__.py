@@ -1,0 +1,62 @@
+"""A working mini-SAC: front end, optimizer, vectorizing interpreter.
+
+Public entry point: :class:`SacProgram`.
+
+    from repro.sac import SacProgram, CompileOptions
+    prog = SacProgram.from_source("int f(int x) { return x + 1; }")
+    prog.call("f", 41)   # -> 42
+"""
+
+from .errors import (
+    SacArityError,
+    SacError,
+    SacNameError,
+    SacRuntimeError,
+    SacSyntaxError,
+    SacTypeError,
+)
+from .codegen import CodegenUnsupported, CompiledFunction, compile_function
+from .interp import FunctionTable, Interpreter, InterpOptions
+from .lexer import tokenize
+from .module import CompileOptions, SacProgram
+from .optim import PassOptions, optimize_program
+from .parser import parse_expression, parse_program
+from .pprint import pprint_expr, pprint_program
+from .typecheck import check_program, collect_diagnostics
+from .sactypes import BOOL, DOUBLE, INT, VOID, BaseType, SacType, ShapeKind
+from .stdlib import PRELUDE_SOURCE, load_prelude
+
+__all__ = [
+    "SacProgram",
+    "CompileOptions",
+    "PassOptions",
+    "optimize_program",
+    "FunctionTable",
+    "Interpreter",
+    "InterpOptions",
+    "tokenize",
+    "parse_program",
+    "parse_expression",
+    "pprint_expr",
+    "pprint_program",
+    "check_program",
+    "collect_diagnostics",
+    "compile_function",
+    "CompiledFunction",
+    "CodegenUnsupported",
+    "SacError",
+    "SacSyntaxError",
+    "SacTypeError",
+    "SacNameError",
+    "SacArityError",
+    "SacRuntimeError",
+    "SacType",
+    "ShapeKind",
+    "BaseType",
+    "INT",
+    "DOUBLE",
+    "BOOL",
+    "VOID",
+    "PRELUDE_SOURCE",
+    "load_prelude",
+]

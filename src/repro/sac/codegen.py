@@ -1,0 +1,977 @@
+"""Shape-specializing code generator: SAC to standalone NumPy Python.
+
+``sac2c`` compiles by *specializing* shape-polymorphic functions to the
+concrete shapes of their call sites and emitting loop code.  This
+backend does the same thing for our dialect: given a function and
+example arguments, it traces the program once — array extents, generator
+bounds and control flow all become concrete; recursion and loops unroll
+— and emits a flat Python function whose body is pure NumPy slice
+arithmetic.  No interpreter is involved when the compiled function runs.
+
+    from repro.sac.codegen import compile_function
+    compiled = compile_function(prog, "MGrid", example_args=(v, 4))
+    u = compiled(v, 4)        # straight-line NumPy, bit-compatible
+    print(compiled.source)    # the generated module text
+
+Specialization contract: double/bool *array* parameters stay symbolic
+(only their shapes are baked in); scalar ints, int vectors and scalar
+doubles used in control flow are baked into the code and validated at
+call time.  Data-dependent control flow and non-affine WITH-loops raise
+:class:`CodegenUnsupported` at compile time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ast_nodes import (
+    Assign,
+    DoWhile,
+    BinOp,
+    Block,
+    BoolLit,
+    Call,
+    Dot,
+    DoubleLit,
+    Expr,
+    ExprStmt,
+    FoldOp,
+    For,
+    FunDef,
+    GenarrayOp,
+    If,
+    IntLit,
+    ModarrayOp,
+    Program,
+    Return,
+    Select,
+    Stmt,
+    UnOp,
+    Var,
+    VectorLit,
+    While,
+    WithLoop,
+)
+from .builtins import FOLD_UFUNCS, int_div, int_mod
+from .errors import SacError, SacRuntimeError, SacTypeError
+from .interp import FunctionTable
+from .sactypes import BaseType, SacType
+from .values import AffineAxis, IndexView, coerce_value, is_int_vector
+from .withloop import IndexSpace
+
+__all__ = ["CodegenUnsupported", "CompiledFunction",
+           "compile_function", "compile_fundef"]
+
+
+class CodegenUnsupported(SacError):
+    """The program left the specializable subset."""
+
+
+# ---------------------------------------------------------------------------
+# Symbolic values.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TArray:
+    """A symbolic NumPy value living in the generated code.
+
+    ``code`` is a Python expression (almost always a temp name); shape
+    and dtype are known exactly thanks to specialization.  ``shape`` may
+    include the WITH-loop space dimensions when the value is per-point.
+    """
+
+    code: str
+    shape: tuple[int, ...]
+    dtype: np.dtype
+
+    @property
+    def is_scalar(self) -> bool:
+        return self.shape == ()
+
+
+def _is_concrete(v) -> bool:
+    return not isinstance(v, (TArray, IndexView))
+
+
+def _shape_of(v) -> tuple[int, ...]:
+    if isinstance(v, TArray):
+        return v.shape
+    if isinstance(v, np.ndarray):
+        return v.shape
+    return ()
+
+
+def _dtype_of(v) -> np.dtype:
+    if isinstance(v, TArray):
+        return v.dtype
+    if isinstance(v, np.ndarray):
+        return v.dtype
+    if isinstance(v, bool):
+        return np.dtype(np.bool_)
+    if isinstance(v, int):
+        return np.dtype(np.int64)
+    return np.dtype(np.float64)
+
+
+def _type_of(v) -> SacType:
+    """Dispatch type of a (possibly symbolic) value."""
+    if isinstance(v, TArray):
+        base = {
+            np.dtype(np.float64): BaseType.DOUBLE,
+            np.dtype(np.int64): BaseType.INT,
+            np.dtype(np.bool_): BaseType.BOOL,
+        }[v.dtype]
+        if v.shape == ():
+            return SacType.scalar(base)
+        return SacType.aks(base, v.shape)
+    if isinstance(v, IndexView):
+        return SacType.aks(BaseType.INT, (v.rank,))
+    from .values import value_type
+
+    return value_type(v)
+
+
+# ---------------------------------------------------------------------------
+# Emission.
+# ---------------------------------------------------------------------------
+
+class Emitter:
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.consts: dict[str, str] = {}  # const name -> literal code
+        self._const_cache: dict[bytes, str] = {}
+        self._n = 0
+
+    def temp(self) -> str:
+        self._n += 1
+        return f"_t{self._n}"
+
+    def assign(self, code: str, shape: tuple[int, ...],
+               dtype: np.dtype) -> TArray:
+        name = self.temp()
+        self.lines.append(f"{name} = {code}")
+        return TArray(name, shape, dtype)
+
+    def const_array(self, arr: np.ndarray) -> str:
+        """Intern a concrete array as a module-level constant."""
+        key = arr.tobytes() + str(arr.dtype).encode() + str(arr.shape).encode()
+        cached = self._const_cache.get(key)
+        if cached is not None:
+            return cached
+        name = f"_C{len(self.consts)}"
+        literal = np.array2string(
+            arr, separator=", ", threshold=1 << 20, floatmode="unique"
+        )
+        self.consts[name] = (
+            f"np.array({literal}, dtype=np.{arr.dtype.name})"
+        )
+        self._const_cache[key] = name
+        return name
+
+
+def _code_of(em: Emitter, v) -> str:
+    """Python expression for any traced value."""
+    if isinstance(v, TArray):
+        return v.code
+    if isinstance(v, np.ndarray):
+        return em.const_array(v)
+    if isinstance(v, bool):
+        return "True" if v else "False"
+    if isinstance(v, (int, np.integer)):
+        return str(int(v))
+    if isinstance(v, (float, np.floating)):
+        return repr(float(v))
+    raise CodegenUnsupported(f"cannot embed value of type {type(v).__name__}")
+
+
+def _slices_code(axes: tuple[AffineAxis, ...], extra_full: int = 0) -> str:
+    parts = []
+    for ax in axes:
+        stop = ax.offset + ax.stride * (ax.count - 1) + 1
+        step = f":{ax.stride}" if ax.stride != 1 else ""
+        parts.append(f"{ax.offset}:{stop}{step}")
+    parts.extend([":"] * extra_full)
+    return ", ".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# The tracer.
+# ---------------------------------------------------------------------------
+
+_BINOP_FMT = {
+    "+": "({} + {})",
+    "-": "({} - {})",
+    "*": "({} * {})",
+    "==": "({} == {})",
+    "!=": "({} != {})",
+    "<": "({} < {})",
+    "<=": "({} <= {})",
+    ">": "({} > {})",
+    ">=": "({} >= {})",
+    "&&": "np.logical_and({}, {})",
+    "||": "np.logical_or({}, {})",
+}
+
+_EW_BUILTINS = {
+    "abs": ("np.abs({})", None),
+    "sqrt": ("np.sqrt({})", np.dtype(np.float64)),
+    "min": ("np.minimum({}, {})", None),
+    "max": ("np.maximum({}, {})", None),
+    "tod": ("np.float64({})", np.dtype(np.float64)),
+}
+
+
+class _ReturnTrace(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class Tracer:
+    """Specializing abstract interpreter that emits NumPy code."""
+
+    def __init__(self, functions: FunctionTable, emitter: Emitter,
+                 max_depth: int = 200, max_statements: int = 200_000):
+        self.functions = functions
+        self.em = emitter
+        self.max_depth = max_depth
+        self.max_statements = max_statements
+        self._depth = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    def _guard_size(self) -> None:
+        if len(self.em.lines) > self.max_statements:
+            raise CodegenUnsupported(
+                "generated code exceeds the statement budget "
+                f"({self.max_statements}); the specialization unrolls too far"
+            )
+
+    def _binop(self, op: str, l, r):
+        if isinstance(l, IndexView) or isinstance(r, IndexView):
+            out = self._affine_binop(op, l, r)
+            if out is not None:
+                return out
+            raise CodegenUnsupported(
+                f"non-affine index arithmetic ({op}) in specialized code"
+            )
+        if _is_concrete(l) and _is_concrete(r):
+            from .builtins import apply_binop
+
+            return coerce_value(apply_binop(op, l, r))
+        self._guard_size()
+        lc, rc = _code_of(self.em, l), _code_of(self.em, r)
+        shape = np.broadcast_shapes(_shape_of(l), _shape_of(r))
+        if op in ("/", "%"):
+            int_op = (
+                _dtype_of(l) == np.int64 and _dtype_of(r) == np.int64
+            )
+            if int_op:
+                fn = "_sac_idiv" if op == "/" else "_sac_imod"
+                return self.em.assign(f"{fn}({lc}, {rc})", shape,
+                                      np.dtype(np.int64))
+            if op == "%":
+                raise SacTypeError("'%' requires integer operands")
+            return self.em.assign(f"({lc} / {rc})", shape,
+                                  np.dtype(np.float64))
+        fmt = _BINOP_FMT.get(op)
+        if fmt is None:
+            raise CodegenUnsupported(f"operator {op!r} not supported")
+        if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+            dtype = np.dtype(np.bool_)
+        else:
+            dtype = np.promote_types(_dtype_of(l), _dtype_of(r))
+        return self.em.assign(fmt.format(lc, rc), shape, dtype)
+
+    @staticmethod
+    def _affine_binop(op, l, r):
+        try:
+            if isinstance(l, IndexView):
+                if op == "+":
+                    return l.add(r)
+                if op == "-":
+                    return l.sub(r)
+                if op == "*":
+                    return l.mul(r)
+                if op == "/":
+                    return l.floordiv(r)
+                return None
+            if isinstance(r, IndexView):
+                if op == "+":
+                    return r.add(l)
+                if op == "*":
+                    return r.mul(l)
+                if op == "-":
+                    return r.mul(-1).add(l)
+                return None
+        except Exception:
+            return None
+        return None
+
+    def _concrete_bool(self, v, what: str) -> bool:
+        if not _is_concrete(v):
+            raise CodegenUnsupported(
+                f"data-dependent {what} cannot be specialized"
+            )
+        v = coerce_value(v)
+        if not isinstance(v, bool):
+            raise SacTypeError(f"{what} must be a boolean")
+        return v
+
+    # -- function application ---------------------------------------------------
+
+    def apply(self, name: str, args: list):
+        if name in ("+", "-", "*", "/", "%"):
+            return self._binop(name, args[0], args[1])
+        if self.functions.overloads(name):
+            argtypes = [_type_of(a) for a in args]
+            try:
+                fun = self.functions.resolve(name, argtypes)
+            except SacError:
+                return self._builtin(name, args)
+            return self.apply_fundef(fun, args)
+        return self._builtin(name, args)
+
+    def _builtin(self, name: str, args: list):
+        if name == "dim":
+            return len(_shape_of(args[0])) if not isinstance(args[0], IndexView) else 1
+        if name == "shape":
+            a = args[0]
+            if isinstance(a, IndexView):
+                return np.asarray([a.rank], dtype=np.int64)
+            return np.asarray(_shape_of(a), dtype=np.int64)
+        if name == "toi":
+            a = args[0]
+            if _is_concrete(a):
+                from .builtins import call_builtin
+
+                return coerce_value(call_builtin("toi", [a]))
+            code = f"np.trunc({a.code}).astype(np.int64)" if a.shape else \
+                f"int({a.code})"
+            return self.em.assign(code, a.shape, np.dtype(np.int64))
+        if name in ("sum", "prod"):
+            a = args[0]
+            if _is_concrete(a):
+                from .builtins import call_builtin
+
+                return coerce_value(call_builtin(name, [a]))
+            fn = "np.sum" if name == "sum" else "np.prod"
+            return self.em.assign(f"{fn}({a.code})", (), a.dtype)
+        fmt_dtype = _EW_BUILTINS.get(name)
+        if fmt_dtype is not None:
+            fmt, forced = fmt_dtype
+            if all(_is_concrete(a) for a in args):
+                from .builtins import call_builtin
+
+                return coerce_value(call_builtin(name, args))
+            codes = [_code_of(self.em, a) for a in args]
+            shape = np.broadcast_shapes(*(_shape_of(a) for a in args))
+            dtype = forced or np.promote_types(
+                _dtype_of(args[0]),
+                _dtype_of(args[-1]) if len(args) > 1 else _dtype_of(args[0]),
+            )
+            return self.em.assign(fmt.format(*codes), shape, dtype)
+        raise CodegenUnsupported(f"builtin {name!r} not supported in codegen")
+
+    def apply_fundef(self, fun: FunDef, args: list):
+        if self._depth >= self.max_depth:
+            raise CodegenUnsupported(
+                f"specialization recursion exceeds {self.max_depth} in "
+                f"{fun.name!r}"
+            )
+        env = {p.name: a for p, a in zip(fun.params, args)}
+        self._depth += 1
+        try:
+            self.exec_block(fun.body, env)
+        except _ReturnTrace as ret:
+            return ret.value
+        finally:
+            self._depth -= 1
+        if fun.return_type.base is BaseType.VOID:
+            return None
+        raise SacRuntimeError(f"function {fun.name!r} did not return a value")
+
+    # -- statements ----------------------------------------------------------------
+
+    def exec_block(self, block: Block, env: dict) -> None:
+        for stmt in block.statements:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: Stmt, env: dict) -> None:
+        self._guard_size()
+        if isinstance(stmt, Assign):
+            env[stmt.target] = self.eval(stmt.value, env)
+        elif isinstance(stmt, Return):
+            raise _ReturnTrace(self.eval(stmt.value, env))
+        elif isinstance(stmt, ExprStmt):
+            self.eval(stmt.expr, env)
+        elif isinstance(stmt, Block):
+            self.exec_block(stmt, env)
+        elif isinstance(stmt, If):
+            if self._concrete_bool(self.eval(stmt.cond, env), "branch"):
+                self.exec_block(stmt.then, env)
+            elif stmt.orelse is not None:
+                self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, For):
+            self.exec_stmt(stmt.init, env)
+            while self._concrete_bool(self.eval(stmt.cond, env), "loop bound"):
+                self.exec_block(stmt.body, env)
+                self.exec_stmt(stmt.update, env)
+        elif isinstance(stmt, While):
+            while self._concrete_bool(self.eval(stmt.cond, env), "loop bound"):
+                self.exec_block(stmt.body, env)
+        elif isinstance(stmt, DoWhile):
+            while True:
+                self.exec_block(stmt.body, env)
+                if not self._concrete_bool(self.eval(stmt.cond, env),
+                                           "loop bound"):
+                    break
+        else:  # pragma: no cover
+            raise CodegenUnsupported(
+                f"unknown statement {type(stmt).__name__}"
+            )
+
+    # -- expressions ------------------------------------------------------------------
+
+    def eval(self, expr: Expr, env: dict):
+        if isinstance(expr, IntLit):
+            return expr.value
+        if isinstance(expr, DoubleLit):
+            return expr.value
+        if isinstance(expr, BoolLit):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                from .errors import SacNameError
+
+                raise SacNameError(f"undefined variable {expr.name!r}",
+                                   expr.pos) from None
+        if isinstance(expr, VectorLit):
+            return self._vector(expr, env)
+        if isinstance(expr, BinOp):
+            return self._binop(expr.op, self.eval(expr.left, env),
+                               self.eval(expr.right, env))
+        if isinstance(expr, UnOp):
+            v = self.eval(expr.operand, env)
+            if isinstance(v, IndexView):
+                if expr.op == "-":
+                    return v.mul(-1)
+                raise CodegenUnsupported("'!' on an index vector")
+            if _is_concrete(v):
+                from .builtins import apply_unop
+
+                return coerce_value(apply_unop(expr.op, v))
+            code = f"(-{v.code})" if expr.op == "-" else \
+                f"np.logical_not({v.code})"
+            return self.em.assign(code, v.shape, v.dtype)
+        if isinstance(expr, Call):
+            return self.apply(expr.name, [self.eval(a, env) for a in expr.args])
+        if isinstance(expr, Select):
+            return self._select(
+                self.eval(expr.array, env), self.eval(expr.index, env)
+            )
+        if isinstance(expr, WithLoop):
+            return self._withloop(expr, env)
+        if isinstance(expr, Dot):
+            raise SacRuntimeError("'.' is only legal inside a generator")
+        raise CodegenUnsupported(f"unknown expression {type(expr).__name__}")
+
+    def _vector(self, expr: VectorLit, env: dict):
+        values = [self.eval(e, env) for e in expr.elements]
+        if all(_is_concrete(v) for v in values):
+            arr = np.asarray([coerce_value(v) for v in values])
+            if np.issubdtype(arr.dtype, np.integer):
+                return arr.astype(np.int64)
+            if np.issubdtype(arr.dtype, np.floating):
+                return arr.astype(np.float64)
+            return arr
+        codes = [_code_of(self.em, v) for v in values]
+        shapes = {_shape_of(v) for v in values}
+        if len(shapes) != 1:
+            raise CodegenUnsupported("mixed-shape symbolic vector literal")
+        cell = shapes.pop()
+        dtype = np.promote_types(
+            _dtype_of(values[0]), _dtype_of(values[-1])
+        )
+        return self.em.assign(
+        f"np.stack([{', '.join(codes)}], axis=-1)"
+            if cell else f"np.array([{', '.join(codes)}])",
+            cell + (len(values),) if cell else (len(values),),
+            dtype,
+        )
+
+    # -- selection ----------------------------------------------------------------------
+
+    def _select(self, array, index):
+        index = coerce_value(index) if _is_concrete(index) else index
+        if isinstance(array, IndexView):
+            if not isinstance(index, (int, np.ndarray)):
+                raise CodegenUnsupported("symbolic index into index vector")
+            idx = self._index_tuple(index)
+            ax = array.axes[idx[0]]
+            if ax.count != 1 and ax.stride == 0:
+                pass
+            # Component j of the index vector varies along space axis j;
+            # emit its value grid as a constant-stride arange expression.
+            j = idx[0]
+            dims = array.space_dims
+            code = (
+                f"(np.arange({ax.count}, dtype=np.int64) * {ax.stride} + "
+                f"{ax.offset})"
+            )
+            reshape = ["1"] * len(dims)
+            reshape[j] = str(ax.count)
+            code = f"{code}.reshape({', '.join(reshape)})"
+            bcast = ", ".join(str(d) for d in dims)
+            return self.em.assign(
+                f"np.broadcast_to({code}, ({bcast},))", dims,
+                np.dtype(np.int64),
+            )
+        if isinstance(array, np.ndarray):
+            if isinstance(index, IndexView):
+                # Concrete array indexed by the loop index: materialize a
+                # gather over the (concrete) affine positions.
+                sel = tuple(ax.values() for ax in index.axes)
+                grids = np.meshgrid(*sel, indexing="ij") if len(sel) > 1 else \
+                    [sel[0]]
+                self._check_bounds_concrete(array, grids)
+                return array[tuple(grids)]
+            idx = self._index_tuple(index)
+            self._check_index(array.shape, idx)
+            out = array[idx]
+            return coerce_value(out) if np.isscalar(out) or out.ndim == 0 \
+                else np.asarray(out)
+        if isinstance(array, TArray):
+            if isinstance(index, IndexView):
+                n = index.rank
+                if n > len(array.shape):
+                    raise SacTypeError("index longer than array rank")
+                for ax, ext in zip(index.axes, array.shape):
+                    if ax.stride <= 0:
+                        raise CodegenUnsupported("non-positive index stride")
+                    last = ax.offset + ax.stride * (ax.count - 1)
+                    if ax.offset < 0 or last >= ext:
+                        raise SacRuntimeError(
+                            f"index range {ax.offset}..{last} out of bounds "
+                            f"for extent {ext}"
+                        )
+                sel = _slices_code(index.axes, len(array.shape) - n)
+                shape = index.space_dims + array.shape[n:]
+                return self.em.assign(
+                    f"{array.code}[{sel}]", shape, array.dtype
+                )
+            if isinstance(index, TArray):
+                raise CodegenUnsupported("data-dependent selection")
+            idx = self._index_tuple(index)
+            self._check_index(array.shape, idx)
+            sel = ", ".join(str(i) for i in idx)
+            shape = array.shape[len(idx):]
+            return self.em.assign(f"{array.code}[{sel}]", shape, array.dtype)
+        raise SacTypeError("cannot select from a scalar")
+
+    @staticmethod
+    def _index_tuple(index) -> tuple[int, ...]:
+        if isinstance(index, (int, np.integer)) and not isinstance(index, bool):
+            return (int(index),)
+        if is_int_vector(index):
+            return tuple(int(x) for x in index)
+        raise CodegenUnsupported("selection index must be a concrete int "
+                                 "or int vector")
+
+    @staticmethod
+    def _check_index(shape, idx) -> None:
+        if len(idx) > len(shape):
+            raise SacTypeError("index longer than array rank")
+        for j, (i, ext) in enumerate(zip(idx, shape)):
+            if i < 0 or i >= ext:
+                raise SacRuntimeError(
+                    f"index {i} out of bounds for axis {j} (extent {ext})"
+                )
+
+    @staticmethod
+    def _check_bounds_concrete(array, grids) -> None:
+        for j, g in enumerate(grids):
+            if g.min() < 0 or g.max() >= array.shape[j]:
+                raise SacRuntimeError(
+                    f"index out of bounds on axis {j} in gather"
+                )
+
+    # -- WITH-loops -----------------------------------------------------------------------
+
+    def _withloop(self, wl: WithLoop, env: dict):
+        op = wl.operation
+        shp = None
+        frame_shape = None
+        base = None
+        if isinstance(op, GenarrayOp):
+            shp_v = self.eval(op.shape, env)
+            if not _is_concrete(shp_v):
+                raise CodegenUnsupported("symbolic genarray shape")
+            shp_arr = np.atleast_1d(np.asarray(coerce_value(shp_v)))
+            shp = tuple(int(x) for x in shp_arr)
+            frame_shape = shp
+        elif isinstance(op, ModarrayOp):
+            base = self.eval(op.array, env)
+            frame_shape = _shape_of(base)
+            if not frame_shape and not isinstance(base, (TArray, np.ndarray)):
+                raise SacTypeError("modarray frame must be an array")
+
+        space = self._space(wl.generator, env, frame_shape)
+        iv = IndexView(space.axes())
+        body_env = dict(env)
+        body_env[wl.generator.var] = iv
+
+        if isinstance(op, FoldOp):
+            return self._fold(op, body_env, space, env)
+
+        # Compile-time evaluation: when every input is concrete the loop
+        # can run now (index vectors like the periodic-border unit vector
+        # must, or generator bounds downstream turn symbolic).  Large
+        # float arrays stay symbolic so zeros(34^3) is an expression in
+        # the generated code, not a constant-pool blob.
+        concrete = self._try_withloop_concrete(op, body_env, space, shp, base)
+        if concrete is not None:
+            return concrete
+
+        body = self.eval(op.body, body_env)
+        cell = self._cell_shape(body, space)
+        if isinstance(op, GenarrayOp):
+            dtype = _dtype_of(body)
+            out = self.em.assign(
+                f"np.zeros({shp + cell}, dtype=np.{dtype.name})",
+                shp + cell, dtype,
+            )
+        else:
+            dtype = np.promote_types(_dtype_of(base), _dtype_of(body))
+            out = self.em.assign(
+                f"{_code_of(self.em, base)}.copy()", frame_shape, dtype
+            )
+            if cell != frame_shape[space.rank:]:
+                raise SacTypeError("modarray cell shape mismatch")
+        if not space.is_empty:
+            region = _slices_code(space.axes(), len(cell))
+            self.em.lines.append(
+                f"{out.code}[{region}] = {_code_of(self.em, body)}"
+            )
+        return out
+
+    _CONCRETE_FOLD_LIMIT = 64
+
+    def _try_withloop_concrete(self, op, body_env: dict, space: IndexSpace,
+                               shp, base):
+        """Evaluate a genarray/modarray WITH-loop at compile time when all
+        inputs are concrete; returns None when it must stay symbolic."""
+        if isinstance(op, ModarrayOp) and not isinstance(base, np.ndarray):
+            return None
+        frame = tuple(shp) if shp is not None else base.shape
+        total = 1
+        for s in frame:
+            total *= s
+        # Keep big double arrays symbolic.
+        snapshot = len(self.em.lines)
+        try:
+            body = self.eval(op.body, body_env)
+        except CodegenUnsupported:
+            raise
+        if not _is_concrete(body) or isinstance(body, IndexView):
+            return None
+        body_val = coerce_value(body)
+        bshape = np.asarray(body_val).shape
+        # Per-point results carry the space dims as a prefix; otherwise
+        # the body is constant across the space.
+        if bshape[: space.rank] == space.count:
+            cell = bshape[space.rank:]
+        else:
+            cell = bshape
+        is_float = isinstance(body_val, float) or (
+            isinstance(body_val, np.ndarray)
+            and body_val.dtype == np.float64
+        )
+        if isinstance(op, ModarrayOp):
+            is_float = is_float or base.dtype == np.float64
+        if is_float and total > self._CONCRETE_FOLD_LIMIT:
+            return None
+        del self.em.lines[snapshot:]  # drop any speculative emissions
+        if isinstance(op, GenarrayOp):
+            out = np.zeros(frame + cell, dtype=_dtype_of(body_val))
+        else:
+            out = base.copy()
+        if not space.is_empty:
+            region = tuple(ax.as_slice(ext)
+                           for ax, ext in zip(space.axes(), out.shape))
+            # The body is constant across the space here (it evaluated to
+            # a concrete value with the index variable still abstract).
+            out[region] = body_val
+        return out
+
+    def _cell_shape(self, body, space: IndexSpace) -> tuple[int, ...]:
+        if isinstance(body, IndexView):
+            raise CodegenUnsupported("raw index vector as loop body")
+        shape = _shape_of(body)
+        if shape[: space.rank] == space.count:
+            return shape[space.rank:]
+        # Constant across the space.
+        return shape
+
+    def _fold(self, op: FoldOp, body_env: dict, space: IndexSpace, env: dict):
+        neutral = self.eval(op.neutral, env)
+        if space.is_empty:
+            return neutral
+        body = self.eval(op.body, body_env)
+        ufunc = FOLD_UFUNCS.get(op.fun)
+        if ufunc is None:
+            raise CodegenUnsupported(
+                f"fold function {op.fun!r} has no vectorized reduction"
+            )
+        fn = {"+": "np.add", "*": "np.multiply", "min": "np.minimum",
+              "max": "np.maximum"}[op.fun]
+        body_shape = _shape_of(body)
+        if body_shape[: space.rank] == space.count:
+            cell = body_shape[space.rank:]
+            code = (
+                f"{fn}.reduce({_code_of(self.em, body)}"
+                f".reshape(-1, *{cell}), axis=0)" if cell else
+                f"{fn}.reduce({_code_of(self.em, body)}.reshape(-1))"
+            )
+            reduced = self.em.assign(code, cell, _dtype_of(body))
+        else:
+            # Constant body: neutral op (count * body) for +; generic:
+            # repeat-reduce is wasteful, emit explicit arithmetic for +/*.
+            total = 1
+            for c in space.count:
+                total *= c
+            if op.fun == "+":
+                reduced = self._binop("*", total, body)
+            elif op.fun == "*":
+                raise CodegenUnsupported("constant-body product fold")
+            else:
+                reduced = body
+        return self._fold_combine(op.fun, neutral, reduced)
+
+    def _fold_combine(self, fun: str, neutral, reduced):
+        if fun == "+":
+            return self._binop("+", neutral, reduced)
+        if fun == "*":
+            return self._binop("*", neutral, reduced)
+        fn = "np.minimum" if fun == "min" else "np.maximum"
+        if _is_concrete(neutral) and _is_concrete(reduced):
+            arr = np.minimum(neutral, reduced) if fun == "min" else \
+                np.maximum(neutral, reduced)
+            return coerce_value(arr)
+        code = (f"{fn}({_code_of(self.em, neutral)}, "
+                f"{_code_of(self.em, reduced)})")
+        shape = np.broadcast_shapes(_shape_of(neutral), _shape_of(reduced))
+        return self.em.assign(code, shape,
+                              np.promote_types(_dtype_of(neutral),
+                                               _dtype_of(reduced)))
+
+    # -- generator resolution -----------------------------------------------------------------
+
+    def _space(self, gen, env: dict, frame_shape) -> IndexSpace:
+        def bound(expr, is_upper: bool):
+            if isinstance(expr, Dot):
+                if frame_shape is None:
+                    raise SacRuntimeError(
+                        "'.' generator bounds need a genarray/modarray frame"
+                    )
+                if is_upper:
+                    return np.asarray(frame_shape, dtype=np.int64) - 1
+                return np.zeros(len(frame_shape), dtype=np.int64)
+            v = self.eval(expr, env)
+            if not _is_concrete(v):
+                raise CodegenUnsupported("symbolic generator bound")
+            v = coerce_value(v)
+            if isinstance(v, (int, np.integer)):
+                if frame_shape is None:
+                    raise SacRuntimeError("scalar bound without frame")
+                return np.full(len(frame_shape), int(v), dtype=np.int64)
+            if is_int_vector(v):
+                return v
+            raise SacTypeError("generator bound must be an int vector")
+
+        lo = bound(gen.lower, False)
+        hi = bound(gen.upper, True)
+        if len(lo) != len(hi):
+            raise SacTypeError("generator bounds have different lengths")
+        if not gen.lower_inclusive:
+            lo = lo + 1
+        if gen.upper_inclusive:
+            hi = hi + 1
+        rank = len(lo)
+        if gen.step is not None:
+            sv = self.eval(gen.step, env)
+            if not _is_concrete(sv):
+                raise CodegenUnsupported("symbolic generator step")
+            sv = coerce_value(sv)
+            step = np.full(rank, int(sv), dtype=np.int64) if isinstance(
+                sv, (int, np.integer)) else np.asarray(sv)
+            if np.any(step <= 0):
+                raise SacRuntimeError("generator step must be positive")
+        else:
+            step = np.ones(rank, dtype=np.int64)
+        if gen.width is not None:
+            raise CodegenUnsupported("width filters are not specializable")
+        span = hi - lo
+        count = np.where(span > 0, -(-span // step), 0)
+        space = IndexSpace(
+            tuple(int(x) for x in lo),
+            tuple(int(x) for x in step),
+            tuple(int(x) for x in count),
+            tuple(1 for _ in range(rank)),
+        )
+        if frame_shape is not None:
+            from .withloop import _check_region
+
+            _check_region(space, tuple(frame_shape)[: space.rank])
+        return space
+
+
+# ---------------------------------------------------------------------------
+# Public entry point.
+# ---------------------------------------------------------------------------
+
+_MODULE_HEADER = '''\
+"""Generated by repro.sac.codegen — shape-specialized NumPy code.
+
+Function: {fname}
+Specialization: {spec}
+"""
+
+import numpy as np
+
+
+def _sac_idiv(a, b):
+    q = np.floor_divide(a, b)
+    r = a - b * q
+    return q + ((r != 0) & ((np.asarray(a) < 0) != (np.asarray(b) < 0)))
+
+
+def _sac_imod(a, b):
+    return a - b * _sac_idiv(a, b)
+
+'''
+
+
+@dataclass
+class CompiledFunction:
+    """A specialized, executable translation of one SAC function."""
+
+    name: str
+    source: str
+    signature: tuple[str, ...]
+    baked: dict[str, object]
+    _callable: object = field(repr=False, default=None)
+
+    def __call__(self, *args):
+        if len(args) != len(self.signature):
+            raise TypeError(
+                f"{self.name} expects {len(self.signature)} argument(s)"
+            )
+        for name, value in zip(self.signature, args):
+            if name in self.baked:
+                expect = self.baked[name]
+                same = (
+                    np.array_equal(expect, value)
+                    if isinstance(expect, np.ndarray)
+                    else expect == value
+                )
+                if not same:
+                    raise ValueError(
+                        f"argument {name!r} was specialized to {expect!r}; "
+                        f"recompile for {value!r}"
+                    )
+        array_args = [
+            a for name, a in zip(self.signature, args)
+            if name not in self.baked
+        ]
+        return self._callable(*array_args)
+
+
+def compile_function(program_or_table, fname: str, example_args,
+                     max_statements: int = 200_000) -> CompiledFunction:
+    """Specialize ``fname`` for the shapes/values of ``example_args``.
+
+    Float/bool arrays stay symbolic (shape-specialized); ints, int
+    vectors and scalar floats are baked in as constants.  Returns a
+    :class:`CompiledFunction` whose ``source`` is a standalone Python
+    module.
+    """
+    if isinstance(program_or_table, FunctionTable):
+        table = program_or_table
+    else:
+        prog = getattr(program_or_table, "interp", None)
+        if prog is not None:  # a SacProgram
+            table = program_or_table.interp.functions
+        else:
+            table = FunctionTable()
+            table.update(program_or_table)
+
+    ingested = []
+    for a in example_args:
+        if isinstance(a, np.ndarray) and a.dtype not in (
+            np.dtype(np.float64), np.dtype(np.int64), np.dtype(np.bool_)
+        ):
+            a = a.astype(np.float64)
+        ingested.append(coerce_value(a))
+    probe_types = [_type_of(_probe_value(a)) for a in ingested]
+    fun = table.resolve(fname, probe_types)
+    return compile_fundef(table, fun, ingested,
+                          max_statements=max_statements)
+
+
+def compile_fundef(table: FunctionTable, fun: FunDef, example_args,
+                   max_statements: int = 200_000) -> CompiledFunction:
+    """Specialize one resolved overload (see :func:`compile_function`)."""
+    em = Emitter()
+    tracer = Tracer(table, em, max_statements=max_statements)
+    fname = fun.name
+    ingested = [coerce_value(a) for a in example_args]
+    symbolic: list[tuple[str, TArray]] = []
+    traced_args = []
+    baked: dict[str, object] = {}
+
+    for param, a in zip(fun.params, ingested):
+        if isinstance(a, np.ndarray) and a.dtype == np.float64:
+            t = TArray(param.name, a.shape, a.dtype)
+            symbolic.append((param.name, t))
+            traced_args.append(t)
+        else:
+            baked[param.name] = a
+            traced_args.append(a)
+
+    result = tracer.apply_fundef(fun, traced_args)
+    ret_code = _code_of(em, result)
+
+    spec = ", ".join(
+        f"{p.name}: "
+        + (f"double{list(_shape_of(t))}" if (p.name, t) in
+           [(n, v) for n, v in symbolic] else f"= {baked.get(p.name)!r}")
+        for p, t in zip(fun.params, traced_args)
+    )
+    params = ", ".join(name for name, _ in symbolic)
+    body_lines = em.lines + [f"return {ret_code}"]
+    body = "\n".join("    " + ln for ln in body_lines)
+    consts = "\n".join(f"{n} = {c}" for n, c in em.consts.items())
+    source = (
+        _MODULE_HEADER.format(fname=fname, spec=spec)
+        + (consts + "\n\n" if consts else "")
+        + f"def {fname}({params}):\n{body}\n"
+    )
+    namespace: dict = {}
+    exec(compile(source, f"<sac-codegen:{fname}>", "exec"), namespace)
+    return CompiledFunction(
+        name=fname,
+        source=source,
+        signature=tuple(p.name for p in fun.params),
+        baked=baked,
+        _callable=namespace[fname],
+    )
+
+
+def _probe_value(a):
+    """Placeholder with the right dispatch type for overload resolution."""
+    return a

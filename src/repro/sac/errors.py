@@ -1,0 +1,56 @@
+"""Diagnostics for the SAC front end and runtime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SourcePos",
+    "SacError",
+    "SacSyntaxError",
+    "SacTypeError",
+    "SacNameError",
+    "SacRuntimeError",
+    "SacArityError",
+]
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """Line/column position in a SAC source file (1-based)."""
+
+    line: int
+    col: int
+    filename: str = "<sac>"
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.col}"
+
+
+class SacError(Exception):
+    """Base class of all SAC language errors."""
+
+    def __init__(self, message: str, pos: SourcePos | None = None):
+        self.message = message
+        self.pos = pos
+        super().__init__(f"{pos}: {message}" if pos else message)
+
+
+class SacSyntaxError(SacError):
+    """Lexical or syntactic error."""
+
+
+class SacTypeError(SacError):
+    """Type or shape error (statically detected or at run time)."""
+
+
+class SacNameError(SacError):
+    """Reference to an unknown variable or function."""
+
+
+class SacArityError(SacError):
+    """Call with a number of arguments no overload accepts."""
+
+
+class SacRuntimeError(SacError):
+    """Error raised while evaluating a SAC program."""

@@ -1,0 +1,590 @@
+"""Tree-walking evaluator for the SAC subset.
+
+Purely functional semantics: every value is immutable, assignment is
+binding, function calls are call-by-value.  WITH-loops are delegated to
+:mod:`repro.sac.withloop`, which vectorizes them whenever the body stays
+in the affine/abstract domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Call,
+    Dot,
+    DoubleLit,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FunDef,
+    If,
+    IntLit,
+    Program,
+    Return,
+    Select,
+    UnOp,
+    Var,
+    VectorLit,
+    While,
+    WithLoop,
+)
+from .builtins import apply_binop, apply_unop, call_builtin, is_builtin
+from .errors import (
+    SacArityError,
+    SacNameError,
+    SacRuntimeError,
+    SacTypeError,
+)
+from .sactypes import BaseType, SacType
+from .values import (
+    AbstractUnsupported,
+    IndexView,
+    SpaceValue,
+    coerce_value,
+    value_type,
+)
+from .withloop import eval_withloop
+
+__all__ = ["Env", "InterpOptions", "Interpreter", "FunctionTable"]
+
+
+class Env:
+    """Lexical environment: a binding dict with an optional parent."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: dict | None = None, parent: "Env | None" = None):
+        self.bindings = bindings if bindings is not None else {}
+        self.parent = parent
+
+    def lookup(self, name: str):
+        env = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise SacNameError(f"undefined variable {name!r}")
+
+    def contains(self, name: str) -> bool:
+        env = self
+        while env is not None:
+            if name in env.bindings:
+                return True
+            env = env.parent
+        return False
+
+    def bind(self, name: str, value) -> None:
+        self.bindings[name] = value
+
+    def child(self, bindings: dict | None = None) -> "Env":
+        return Env(bindings or {}, self)
+
+
+class _ReturnSignal(Exception):
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+
+class FunctionTable:
+    """Overload sets keyed by function name."""
+
+    def __init__(self) -> None:
+        self._funs: dict[str, list[FunDef]] = {}
+
+    def add(self, fun: FunDef) -> None:
+        self._funs.setdefault(fun.name, []).append(fun)
+
+    def update(self, program: Program) -> None:
+        for fun in program.functions:
+            self.add(fun)
+
+    def overloads(self, name: str) -> list[FunDef]:
+        return self._funs.get(name, [])
+
+    def names(self):
+        return self._funs.keys()
+
+    def resolve(self, name: str, argtypes: list[SacType]) -> FunDef:
+        """Pick the most specific overload accepting the argument types."""
+        candidates = [
+            f for f in self.overloads(name)
+            if f.arity == len(argtypes)
+            and all(p.type.accepts(t) for p, t in zip(f.params, argtypes))
+        ]
+        if not candidates:
+            avail = self.overloads(name)
+            if not avail:
+                raise SacNameError(f"undefined function {name!r}")
+            sigs = "; ".join(
+                "(" + ", ".join(str(p.type) for p in f.params) + ")" for f in avail
+            )
+            raise SacArityError(
+                f"no overload of {name!r} accepts ("
+                + ", ".join(map(str, argtypes))
+                + f"); available: {sigs}"
+            )
+        best = min(
+            candidates, key=lambda f: sum(p.type.specificity() for p in f.params)
+        )
+        score = sum(p.type.specificity() for p in best.params)
+        ties = [
+            f for f in candidates
+            if sum(p.type.specificity() for p in f.params) == score and f is not best
+        ]
+        if ties:
+            raise SacTypeError(f"ambiguous overloads for {name!r}")
+        return best
+
+
+@dataclass
+class InterpOptions:
+    """Evaluation knobs (the compiler-ablation switches)."""
+
+    #: Attempt vectorized WITH-loop execution (off = pure scalar loops).
+    vectorize: bool = True
+    #: Guard against runaway recursion in user programs.
+    max_call_depth: int = 200
+    #: Specialize hot functions through the codegen backend (sac2c-style
+    #: shape specialization at run time).
+    jit: bool = False
+    #: Calls with the same (function, argument-signature) before the JIT
+    #: compiles that specialization.
+    jit_threshold: int = 3
+
+
+def _dispatch_type(v) -> SacType:
+    """Type used for overload resolution, for concrete *and* abstract
+    values (abstract values dispatch on their per-point cell type)."""
+    if isinstance(v, IndexView):
+        return SacType.aks(BaseType.INT, (v.rank,))
+    if isinstance(v, SpaceValue):
+        base = {
+            np.dtype(np.float64): BaseType.DOUBLE,
+            np.dtype(np.int64): BaseType.INT,
+            np.dtype(np.bool_): BaseType.BOOL,
+        }.get(v.data.dtype)
+        if base is None:
+            raise SacTypeError(f"unsupported dtype {v.data.dtype}")
+        if v.cell_shape == ():
+            return SacType.scalar(base)
+        return SacType.aks(base, v.cell_shape)
+    return value_type(v)
+
+
+class Interpreter:
+    """Evaluator over a :class:`FunctionTable`."""
+
+    def __init__(self, functions: FunctionTable,
+                 options: InterpOptions | None = None):
+        self.functions = functions
+        self.options = options or InterpOptions()
+        self._depth = 0
+        # JIT state: per (function, signature) call counts, compiled
+        # specializations, and signatures codegen refused.
+        self._jit_counts: dict = {}
+        self._jit_cache: dict = {}
+        self._jit_blocked: set = set()
+        # Each SAC call consumes several Python frames; make sure our own
+        # depth guard fires before CPython's recursion limit does.
+        import sys
+
+        needed = 25 * self.options.max_call_depth
+        if sys.getrecursionlimit() < needed:
+            sys.setrecursionlimit(needed)
+
+    # -- public API ----------------------------------------------------------
+
+    def call(self, name: str, *args):
+        """Call a SAC function with Python/NumPy values; returns a value."""
+        return self.apply_named(name, [self._ingest(a) for a in args])
+
+    @staticmethod
+    def _ingest(v):
+        if isinstance(v, np.ndarray):
+            if v.dtype == np.float64 or v.dtype == np.int64 or v.dtype == np.bool_:
+                return v
+            if np.issubdtype(v.dtype, np.integer):
+                return v.astype(np.int64)
+            if np.issubdtype(v.dtype, np.floating):
+                return v.astype(np.float64)
+            raise SacTypeError(f"unsupported argument dtype {v.dtype}")
+        return coerce_value(v)
+
+    # -- function application --------------------------------------------------
+
+    def apply_named(self, name: str, args: list):
+        """Apply a named function: operators, then user overloads (which
+        shadow builtins when they match), then builtins."""
+        if name in ("+", "-", "*", "/", "%"):
+            if len(args) != 2:
+                raise SacArityError(f"operator {name!r} needs two arguments")
+            return apply_binop(name, args[0], args[1])
+        if self.functions.overloads(name):
+            argtypes = [_dispatch_type(a) for a in args]
+            try:
+                fun = self.functions.resolve(name, argtypes)
+            except (SacArityError, SacNameError):
+                if is_builtin(name):
+                    return call_builtin(name, args)
+                raise
+            return self.apply_fundef(fun, args)
+        if is_builtin(name):
+            return call_builtin(name, args)
+        raise SacNameError(f"undefined function {name!r}")
+
+    # -- JIT ------------------------------------------------------------------
+
+    @staticmethod
+    def _jit_signature(fun: FunDef, args: list):
+        """Hashable specialization key, or None when not specializable."""
+        parts: list = [id(fun)]
+        for a in args:
+            if isinstance(a, (SpaceValue, IndexView)):
+                return None  # abstract context: never JIT
+            if isinstance(a, np.ndarray):
+                if a.dtype == np.float64:
+                    parts.append(("arr", a.shape))
+                else:
+                    # Non-float arrays get baked: key on the exact value.
+                    parts.append(("const-arr", a.shape, a.tobytes()))
+            else:
+                parts.append(("const", type(a).__name__, a))
+        return tuple(parts)
+
+    def _jit_lookup(self, fun: FunDef, args: list):
+        sig = self._jit_signature(fun, args)
+        if sig is None or sig in self._jit_blocked:
+            return None
+        compiled = self._jit_cache.get(sig)
+        if compiled is not None:
+            return compiled
+        count = self._jit_counts.get(sig, 0) + 1
+        self._jit_counts[sig] = count
+        if count < self.options.jit_threshold:
+            return None
+        from .codegen import CodegenUnsupported, compile_fundef
+        from .errors import SacError
+
+        try:
+            compiled = compile_fundef(self.functions, fun, args)
+        except (CodegenUnsupported, SacError):
+            self._jit_blocked.add(sig)
+            return None
+        self._jit_cache[sig] = compiled
+        return compiled
+
+    @property
+    def jit_compiled_count(self) -> int:
+        """How many specializations the JIT has compiled (introspection)."""
+        return len(self._jit_cache)
+
+    def apply_fundef(self, fun: FunDef, args: list):
+        if self.options.jit:
+            compiled = self._jit_lookup(fun, args)
+            if compiled is not None:
+                return coerce_value(compiled(*args))
+        if self._depth >= self.options.max_call_depth:
+            raise SacRuntimeError(
+                f"call depth exceeded ({self.options.max_call_depth}) in "
+                f"{fun.name!r}"
+            )
+        env = Env({p.name: a for p, a in zip(fun.params, args)})
+        self._depth += 1
+        try:
+            self.exec_block(fun.body, env)
+        except _ReturnSignal as ret:
+            return ret.value
+        finally:
+            self._depth -= 1
+        if fun.return_type.base is BaseType.VOID:
+            return None
+        raise SacRuntimeError(f"function {fun.name!r} did not return a value")
+
+    # -- statements ------------------------------------------------------------
+
+    def exec_block(self, block: Block, env: Env) -> None:
+        for stmt in block.statements:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt, env: Env) -> None:
+        if isinstance(stmt, Assign):
+            env.bind(stmt.target, self.eval_expr(stmt.value, env))
+            return
+        if isinstance(stmt, Return):
+            raise _ReturnSignal(self.eval_expr(stmt.value, env))
+        if isinstance(stmt, If):
+            cond = self._concrete_bool(stmt.cond, env)
+            if cond:
+                self.exec_block(stmt.then, env)
+            elif stmt.orelse is not None:
+                self.exec_block(stmt.orelse, env)
+            return
+        if isinstance(stmt, For):
+            self.exec_stmt(stmt.init, env)
+            while self._concrete_bool(stmt.cond, env):
+                self.exec_block(stmt.body, env)
+                self.exec_stmt(stmt.update, env)
+            return
+        if isinstance(stmt, While):
+            while self._concrete_bool(stmt.cond, env):
+                self.exec_block(stmt.body, env)
+            return
+        if isinstance(stmt, DoWhile):
+            while True:
+                self.exec_block(stmt.body, env)
+                if not self._concrete_bool(stmt.cond, env):
+                    break
+            return
+        if isinstance(stmt, ExprStmt):
+            self.eval_expr(stmt.expr, env)
+            return
+        if isinstance(stmt, Block):
+            self.exec_block(stmt, env)
+            return
+        raise SacRuntimeError(f"unknown statement {type(stmt).__name__}")
+
+    def _concrete_bool(self, expr: Expr, env: Env) -> bool:
+        v = self.eval_expr(expr, env)
+        if isinstance(v, (SpaceValue, IndexView)):
+            raise AbstractUnsupported("data-dependent control flow")
+        v = coerce_value(v)
+        if isinstance(v, bool):
+            return v
+        raise SacTypeError(
+            f"condition must be a boolean, got {value_type(v)}"
+            + (f" at {expr.pos}" if getattr(expr, "pos", None) else "")
+        )
+
+    # -- expressions -------------------------------------------------------------
+
+    def eval_expr(self, expr: Expr, env: Env):
+        method = self._DISPATCH.get(type(expr))
+        if method is None:
+            raise SacRuntimeError(f"unknown expression {type(expr).__name__}")
+        return method(self, expr, env)
+
+    def _eval_int(self, expr: IntLit, env: Env):
+        return expr.value
+
+    def _eval_double(self, expr: DoubleLit, env: Env):
+        return expr.value
+
+    def _eval_bool(self, expr: BoolLit, env: Env):
+        return expr.value
+
+    def _eval_var(self, expr: Var, env: Env):
+        return env.lookup(expr.name)
+
+    def _eval_dot(self, expr: Dot, env: Env):
+        raise SacRuntimeError("'.' is only legal inside a generator")
+
+    def _eval_vector(self, expr: VectorLit, env: Env):
+        if not expr.elements:
+            return np.empty(0, dtype=np.int64)
+        values = [coerce_value(self.eval_expr(e, env)) for e in expr.elements]
+        if any(isinstance(v, (SpaceValue, IndexView)) for v in values):
+            return self._eval_vector_abstract(values)
+        try:
+            arr = np.asarray(values)
+        except ValueError as exc:
+            raise SacTypeError(f"ragged array literal: {exc}") from None
+        if arr.dtype == object:
+            raise SacTypeError("ragged array literal")
+        if np.issubdtype(arr.dtype, np.integer):
+            arr = arr.astype(np.int64)
+        elif np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float64)
+        return arr
+
+    @staticmethod
+    def _eval_vector_abstract(values):
+        mats = []
+        space_ndim = None
+        for v in values:
+            if isinstance(v, IndexView):
+                v = v.materialize()
+            if isinstance(v, SpaceValue):
+                if space_ndim is None:
+                    space_ndim = v.space_ndim
+                elif v.space_ndim != space_ndim:
+                    raise AbstractUnsupported("vector of mixed spaces")
+            mats.append(v)
+        assert space_ndim is not None
+        dims = next(v.space_dims for v in mats if isinstance(v, SpaceValue))
+        parts = []
+        for v in mats:
+            if isinstance(v, SpaceValue):
+                if v.cell_shape != ():
+                    raise AbstractUnsupported("nested abstract vector literal")
+                parts.append(v.data)
+            else:
+                parts.append(np.broadcast_to(np.asarray(v), dims))
+        return SpaceValue(np.stack(parts, axis=-1), space_ndim)
+
+    def _eval_binop(self, expr: BinOp, env: Env):
+        # Short-circuit on concrete booleans only.
+        if expr.op in ("&&", "||"):
+            left = self.eval_expr(expr.left, env)
+            if not isinstance(left, (SpaceValue, IndexView, np.ndarray)):
+                left = coerce_value(left)
+                if isinstance(left, bool):
+                    if expr.op == "&&" and not left:
+                        return False
+                    if expr.op == "||" and left:
+                        return True
+                    return self._expect_boolish(expr.right, env)
+            return apply_binop(expr.op, left, self.eval_expr(expr.right, env))
+        return apply_binop(
+            expr.op, self.eval_expr(expr.left, env), self.eval_expr(expr.right, env)
+        )
+
+    def _expect_boolish(self, expr: Expr, env: Env):
+        return self.eval_expr(expr, env)
+
+    def _eval_unop(self, expr: UnOp, env: Env):
+        return apply_unop(expr.op, self.eval_expr(expr.operand, env))
+
+    def _eval_call(self, expr: Call, env: Env):
+        args = [self.eval_expr(a, env) for a in expr.args]
+        try:
+            return self.apply_named(expr.name, args)
+        except (SacNameError, SacArityError) as exc:
+            exc.pos = exc.pos or expr.pos
+            raise
+
+    def _eval_select(self, expr: Select, env: Env):
+        array = self.eval_expr(expr.array, env)
+        index = self.eval_expr(expr.index, env)
+        return self.select(array, index)
+
+    def _eval_withloop(self, expr: WithLoop, env: Env):
+        return eval_withloop(self, env, expr)
+
+    _DISPATCH = {
+        IntLit: _eval_int,
+        DoubleLit: _eval_double,
+        BoolLit: _eval_bool,
+        Var: _eval_var,
+        Dot: _eval_dot,
+        VectorLit: _eval_vector,
+        BinOp: _eval_binop,
+        UnOp: _eval_unop,
+        Call: _eval_call,
+        Select: _eval_select,
+        WithLoop: _eval_withloop,
+    }
+
+    # -- selection ---------------------------------------------------------------
+
+    def select(self, array, index):
+        """SAC selection ``array[index]`` for concrete and abstract operands."""
+        index = coerce_value(index)
+        # iv[[j]] — component of the index variable.
+        if isinstance(array, IndexView):
+            return self._select_from_indexview(array, index)
+        if isinstance(array, SpaceValue):
+            return self._select_from_spacevalue(array, index)
+        if not isinstance(array, np.ndarray):
+            raise SacTypeError(
+                f"cannot select from a scalar ({value_type(array)})"
+            )
+        if isinstance(index, IndexView):
+            return self._select_affine(array, index)
+        if isinstance(index, SpaceValue):
+            return self._select_gather(array, index)
+        return self._select_concrete(array, index)
+
+    @staticmethod
+    def _index_tuple(index) -> tuple[int, ...]:
+        if isinstance(index, (int, np.integer)) and not isinstance(index, bool):
+            return (int(index),)
+        if isinstance(index, np.ndarray) and index.ndim == 1 and \
+                index.dtype == np.int64:
+            return tuple(int(x) for x in index)
+        raise SacTypeError("selection index must be an int or an int vector")
+
+    def _select_concrete(self, array: np.ndarray, index):
+        idx = self._index_tuple(index)
+        if len(idx) > array.ndim:
+            raise SacTypeError(
+                f"index of length {len(idx)} into rank-{array.ndim} array"
+            )
+        for j, (i, ext) in enumerate(zip(idx, array.shape)):
+            if i < 0 or i >= ext:
+                raise SacRuntimeError(
+                    f"index {i} out of bounds for axis {j} with extent {ext}"
+                )
+        result = array[idx]
+        return coerce_value(result) if np.isscalar(result) or result.ndim == 0 \
+            else result.copy()
+
+    def _select_affine(self, array: np.ndarray, iv: IndexView):
+        n = iv.rank
+        if n > array.ndim:
+            raise SacTypeError(
+                f"index of length {n} into rank-{array.ndim} array"
+            )
+        sel = tuple(ax.as_slice(ext) for ax, ext in zip(iv.axes, array.shape))
+        data = array[sel + (slice(None),) * (array.ndim - n)]
+        return SpaceValue(data, n)
+
+    def _select_gather(self, array: np.ndarray, index: SpaceValue):
+        if index.cell_shape == () :
+            comps = [index.data]
+        elif len(index.cell_shape) == 1:
+            comps = [index.data[..., j] for j in range(index.cell_shape[0])]
+        else:
+            raise AbstractUnsupported("index cell must be scalar or vector")
+        if len(comps) > array.ndim:
+            raise SacTypeError(
+                f"index of length {len(comps)} into rank-{array.ndim} array"
+            )
+        for j, comp in enumerate(comps):
+            if comp.min() < 0 or comp.max() >= array.shape[j]:
+                raise SacRuntimeError(
+                    f"index out of bounds for axis {j} in gather selection"
+                )
+        data = array[tuple(comps)]
+        return SpaceValue(data, index.space_ndim)
+
+    def _select_from_indexview(self, iv: IndexView, index):
+        idx = self._index_tuple(index)
+        if len(idx) != 1:
+            raise SacTypeError("index-variable selection takes one component")
+        j = idx[0]
+        if j < 0 or j >= iv.rank:
+            raise SacRuntimeError(
+                f"component {j} out of range for index vector of length {iv.rank}"
+            )
+        ax = iv.axes[j]
+        dims = iv.space_dims
+        shape = [1] * len(dims)
+        shape[j] = dims[j]
+        data = np.broadcast_to(ax.values().reshape(shape), dims)
+        return SpaceValue(data, len(dims))
+
+    def _select_from_spacevalue(self, sv: SpaceValue, index):
+        if isinstance(index, (SpaceValue, IndexView)):
+            raise AbstractUnsupported("abstract index into abstract array")
+        idx = self._index_tuple(index)
+        if len(idx) > len(sv.cell_shape):
+            raise SacTypeError(
+                f"index of length {len(idx)} into rank-{len(sv.cell_shape)} cells"
+            )
+        for j, (i, ext) in enumerate(zip(idx, sv.cell_shape)):
+            if i < 0 or i >= ext:
+                raise SacRuntimeError(
+                    f"index {i} out of bounds for cell axis {j} (extent {ext})"
+                )
+        sel = (slice(None),) * sv.space_ndim + idx
+        return SpaceValue(sv.data[sel], sv.space_ndim)

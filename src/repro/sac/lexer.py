@@ -1,0 +1,146 @@
+"""Tokenizer for the SAC subset.
+
+Hand-written scanner: C-style comments (``/* */`` and ``//``), integer
+and floating literals, identifiers/keywords, WITH-loop punctuation and
+the usual C operator set.  ``a[[0]]`` needs no special lexing — it is
+ordinary selection with the literal index vector ``[0]``.
+"""
+
+from __future__ import annotations
+
+from .errors import SacSyntaxError, SourcePos
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["tokenize"]
+
+_TWO_CHAR = {
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+    "+=": TokenKind.PLUS_ASSIGN,
+    "-=": TokenKind.MINUS_ASSIGN,
+    "*=": TokenKind.STAR_ASSIGN,
+    "/=": TokenKind.SLASH_ASSIGN,
+}
+
+_ONE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+    ".": TokenKind.DOT,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "=": TokenKind.ASSIGN,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+}
+
+
+def tokenize(source: str, filename: str = "<sac>") -> list[Token]:
+    """Scan ``source`` into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def pos() -> SourcePos:
+        return SourcePos(line, col, filename)
+
+    def advance(k: int = 1) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch in " \t\r\n":
+            advance()
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance()
+            continue
+        if source.startswith("/*", i):
+            start = pos()
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance()
+            if i >= n:
+                raise SacSyntaxError("unterminated block comment", start)
+            advance(2)
+            continue
+        # Numbers.  A '.' only starts a fraction when followed by a digit,
+        # so generator dots ('.' bounds) lex as DOT.
+        if ch.isdigit():
+            start = pos()
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_double = False
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_double = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_double = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            text = source[i:j]
+            advance(j - i)
+            tokens.append(
+                Token(TokenKind.DOUBLE if is_double else TokenKind.INT, text, start)
+            )
+            continue
+        # Identifiers and keywords.
+        if ch.isalpha() or ch == "_":
+            start = pos()
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            advance(j - i)
+            kind = KEYWORDS.get(text, TokenKind.IDENT)
+            tokens.append(Token(kind, text, start))
+            continue
+        # Two-character operators (checked before single-character ones).
+        two = source[i : i + 2]
+        if two in _TWO_CHAR:
+            start = pos()
+            advance(2)
+            tokens.append(Token(_TWO_CHAR[two], two, start))
+            continue
+        if ch in _ONE_CHAR:
+            start = pos()
+            advance()
+            tokens.append(Token(_ONE_CHAR[ch], ch, start))
+            continue
+        raise SacSyntaxError(f"unexpected character {ch!r}", pos())
+
+    tokens.append(Token(TokenKind.EOF, "", pos()))
+    return tokens

@@ -1,0 +1,21 @@
+"""SAC compiler optimization passes (AST-to-AST)."""
+
+from .coeffgroup import coeffgroup_pass
+from .constfold import constfold_pass
+from .dce import dce_pass
+from .inline import inline_pass
+from .pipeline import PASS_NAMES, PassOptions, optimize_program
+from .unroll import unroll_pass
+from .wlfold import wlfold_pass
+
+__all__ = [
+    "PASS_NAMES",
+    "PassOptions",
+    "optimize_program",
+    "inline_pass",
+    "constfold_pass",
+    "wlfold_pass",
+    "unroll_pass",
+    "coeffgroup_pass",
+    "dce_pass",
+]

@@ -1,0 +1,117 @@
+"""Coefficient grouping — the 27-multiplication → 4-multiplication
+stencil optimization of the paper's §5.
+
+After unrolling, a stencil sum looks like::
+
+    c[[0]]*u[iv+o1] + c[[1]]*u[iv+o2] + c[[1]]*u[iv+o3] + ...
+
+Many terms share the same coefficient *expression* (structurally equal
+modulo source positions).  The pass flattens ``+`` chains, groups terms
+by their coefficient factor, and rebuilds::
+
+    c[[0]]*(u[iv+o1]) + c[[1]]*(u[iv+o2] + u[iv+o3]) + ...
+
+Multiplications drop from one-per-term to one-per-distinct-coefficient —
+for the MG stencils, from 27 to 4 (or 3 where a coefficient is zero and
+the term list never mentions it).  Terms without a multiplicative
+structure are left in place, appended after the grouped part.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ast_nodes import BinOp, Call, DoubleLit, Expr, IntLit, Program
+from .rewrite import ast_key, map_stmt_exprs
+
+__all__ = ["coeffgroup_pass", "group_sum"]
+
+#: Only restructure sums with at least this many terms.  Two suffices:
+#: grouping fires only when some coefficient repeats, and the bottom-up
+#: rewrite needs to re-group chains whose inner parts were grouped
+#: already (a 27-term stencil reaches the top as a 4-ish-term chain).
+_MIN_TERMS = 2
+
+
+def _flatten_sum(expr: Expr, out: list[Expr]) -> bool:
+    """Collect the terms of a ``+`` chain; False if not a sum."""
+    if isinstance(expr, BinOp) and expr.op == "+":
+        return _flatten_sum(expr.left, out) and _flatten_sum(expr.right, out)
+    out.append(expr)
+    return True
+
+
+def _coefficient_split(term: Expr) -> tuple[Expr, Expr] | None:
+    """Split ``coef * rest``; the coefficient is the factor that looks
+    like a lookup/constant (Select, literal, Var), preferring the left
+    factor as the stencil idiom writes coefficients first."""
+    if not (isinstance(term, BinOp) and term.op == "*"):
+        return None
+    left, right = term.left, term.right
+
+    def is_cheap(e: Expr) -> bool:
+        from ..ast_nodes import Select, Var
+
+        return isinstance(e, (Select, Var, IntLit, DoubleLit))
+
+    if is_cheap(left):
+        return left, right
+    if is_cheap(right):
+        return right, left
+    return None
+
+
+def group_sum(expr: Expr) -> Expr:
+    """Group a flattened sum by structurally-equal coefficients."""
+    terms: list[Expr] = []
+    if not _flatten_sum(expr, terms) or len(terms) < _MIN_TERMS:
+        return expr
+    groups: dict[object, tuple[Expr, list[Expr]]] = {}
+    passthrough: list[Expr] = []
+    order: list[object] = []
+    for term in terms:
+        split = _coefficient_split(term)
+        if split is None:
+            passthrough.append(term)
+            continue
+        coef, rest = split
+        key = ast_key(coef)
+        if key not in groups:
+            groups[key] = (coef, [])
+            order.append(key)
+        groups[key][1].append(rest)
+    if not groups or all(len(g[1]) == 1 for g in groups.values()):
+        return expr  # nothing shared: keep the original form
+
+    def chain_sum(items: list[Expr]) -> Expr:
+        acc = items[0]
+        for t in items[1:]:
+            acc = BinOp("+", acc, t)
+        return acc
+
+    rebuilt: list[Expr] = []
+    for key in order:
+        coef, rests = groups[key]
+        rebuilt.append(BinOp("*", coef, chain_sum(rests)))
+    rebuilt.extend(passthrough)
+    return chain_sum(rebuilt)
+
+
+def coeffgroup_pass(program: Program) -> Program:
+    """Apply coefficient grouping to every sum in the program."""
+
+    def rewrite(e: Expr) -> Expr:
+        # Only rewrite at the *top* of a '+' chain: if the parent is also
+        # a '+', the parent's rewrite subsumes this one.  map_stmt_exprs
+        # is bottom-up, so guard by doing the rewrite anywhere and
+        # relying on idempotence (grouping a grouped sum is a no-op
+        # because each coefficient then appears once).
+        if isinstance(e, BinOp) and e.op == "+":
+            return group_sum(e)
+        return e
+
+    new_funs = []
+    for fun in program.functions:
+        body = map_stmt_exprs(fun.body, rewrite)
+        new_funs.append(dataclasses.replace(fun, body=body))
+    return program.with_functions(new_funs)

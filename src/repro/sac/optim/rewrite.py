@@ -1,0 +1,276 @@
+"""AST rewriting utilities shared by the optimization passes."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator
+
+from ..ast_nodes import (
+    Assign,
+    DoWhile,
+    BinOp,
+    Block,
+    Call,
+    Dot,
+    Expr,
+    ExprStmt,
+    FoldOp,
+    For,
+    FunDef,
+    GenarrayOp,
+    Generator,
+    If,
+    IntLit,
+    ModarrayOp,
+    Node,
+    Return,
+    Select,
+    Stmt,
+    UnOp,
+    Var,
+    VectorLit,
+    While,
+    WithLoop,
+)
+
+__all__ = [
+    "map_expr",
+    "map_stmt_exprs",
+    "walk_exprs",
+    "expr_vars",
+    "stmt_vars_read",
+    "assigned_names",
+    "substitute",
+    "ast_equal",
+    "ast_key",
+    "rename_vars",
+    "fresh_namer",
+]
+
+
+def _map_children(node: Node, fn: Callable[[Expr], Expr]) -> Node:
+    """Rebuild a node with ``fn`` applied to every direct Expr child."""
+    changes = {}
+    for f in dataclasses.fields(node):
+        v = getattr(node, f.name)
+        if isinstance(v, Expr):
+            nv = fn(v)
+            if nv is not v:
+                changes[f.name] = nv
+        elif isinstance(v, tuple) and v and all(isinstance(e, Expr) for e in v):
+            nv = tuple(fn(e) for e in v)
+            if any(a is not b for a, b in zip(nv, v)):
+                changes[f.name] = nv
+        elif isinstance(v, (GenarrayOp, ModarrayOp, FoldOp, Generator)):
+            nv = _map_children(v, fn)
+            if nv is not v:
+                changes[f.name] = nv
+    return dataclasses.replace(node, **changes) if changes else node
+
+
+def map_expr(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
+    """Bottom-up expression rewrite: children first, then ``fn`` on the
+    rebuilt node."""
+    rebuilt = _map_children(expr, lambda e: map_expr(e, fn))
+    return fn(rebuilt)
+
+
+def map_stmt_exprs(stmt: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
+    """Apply a bottom-up expression rewrite to every expression in a
+    statement tree."""
+    if isinstance(stmt, Assign):
+        return dataclasses.replace(stmt, value=map_expr(stmt.value, fn))
+    if isinstance(stmt, Return):
+        return dataclasses.replace(stmt, value=map_expr(stmt.value, fn))
+    if isinstance(stmt, ExprStmt):
+        return dataclasses.replace(stmt, expr=map_expr(stmt.expr, fn))
+    if isinstance(stmt, Block):
+        return dataclasses.replace(
+            stmt, statements=tuple(map_stmt_exprs(s, fn) for s in stmt.statements)
+        )
+    if isinstance(stmt, If):
+        return dataclasses.replace(
+            stmt,
+            cond=map_expr(stmt.cond, fn),
+            then=map_stmt_exprs(stmt.then, fn),
+            orelse=map_stmt_exprs(stmt.orelse, fn) if stmt.orelse else None,
+        )
+    if isinstance(stmt, For):
+        return dataclasses.replace(
+            stmt,
+            init=map_stmt_exprs(stmt.init, fn),
+            cond=map_expr(stmt.cond, fn),
+            update=map_stmt_exprs(stmt.update, fn),
+            body=map_stmt_exprs(stmt.body, fn),
+        )
+    if isinstance(stmt, While):
+        return dataclasses.replace(
+            stmt, cond=map_expr(stmt.cond, fn), body=map_stmt_exprs(stmt.body, fn)
+        )
+    if isinstance(stmt, DoWhile):
+        return dataclasses.replace(
+            stmt, body=map_stmt_exprs(stmt.body, fn), cond=map_expr(stmt.cond, fn)
+        )
+    raise TypeError(f"unknown statement {type(stmt).__name__}")
+
+
+def walk_exprs(node: Node) -> Iterator[Expr]:
+    """Yield every expression node in a statement/expression tree,
+    parents after children."""
+    if isinstance(node, Expr):
+        for f in dataclasses.fields(node):
+            v = getattr(node, f.name)
+            if isinstance(v, Node):
+                yield from walk_exprs(v)
+            elif isinstance(v, tuple):
+                for e in v:
+                    if isinstance(e, Node):
+                        yield from walk_exprs(e)
+        yield node
+        return
+    for f in dataclasses.fields(node):
+        v = getattr(node, f.name)
+        if isinstance(v, Node):
+            yield from walk_exprs(v)
+        elif isinstance(v, tuple):
+            for e in v:
+                if isinstance(e, Node):
+                    yield from walk_exprs(e)
+
+
+def expr_vars(expr: Expr) -> set[str]:
+    """Free-ish variable names referenced in an expression (includes
+    WITH-loop index variables bound within — callers that care use
+    :func:`substitute`, which respects binding)."""
+    return {e.name for e in walk_exprs(expr) if isinstance(e, Var)}
+
+
+def stmt_vars_read(stmt: Stmt) -> set[str]:
+    out: set[str] = set()
+    for e in walk_exprs(stmt):
+        if isinstance(e, Var):
+            out.add(e.name)
+    return out
+
+
+def assigned_names(stmt: Stmt) -> set[str]:
+    """All names assigned anywhere in a statement tree."""
+    out: set[str] = set()
+    if isinstance(stmt, Assign):
+        out.add(stmt.target)
+    elif isinstance(stmt, Block):
+        for s in stmt.statements:
+            out |= assigned_names(s)
+    elif isinstance(stmt, If):
+        out |= assigned_names(stmt.then)
+        if stmt.orelse:
+            out |= assigned_names(stmt.orelse)
+    elif isinstance(stmt, For):
+        out |= assigned_names(stmt.init)
+        out |= assigned_names(stmt.update)
+        out |= assigned_names(stmt.body)
+    elif isinstance(stmt, (While, DoWhile)):
+        out |= assigned_names(stmt.body)
+    return out
+
+
+def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
+    """Capture-aware substitution of variables by expressions.
+
+    A WITH-loop generator binds its index variable: substitution does not
+    descend for that name inside the loop's operation body/bounds (bounds
+    are evaluated outside the binding, but SAC scoping makes the index
+    variable visible only in the operation — we block it everywhere
+    inside the WITH-loop for simplicity and safety)."""
+
+    def rewrite(e: Expr) -> Expr:
+        if isinstance(e, Var) and e.name in mapping:
+            return mapping[e.name]
+        return e
+
+    def go(e: Expr, blocked: frozenset[str]) -> Expr:
+        if isinstance(e, Var):
+            if e.name in mapping and e.name not in blocked:
+                return mapping[e.name]
+            return e
+        if isinstance(e, WithLoop):
+            inner_blocked = blocked | {e.generator.var}
+
+            def node_go(n: Node, blk: frozenset[str]) -> Node:
+                changes = {}
+                for f in dataclasses.fields(n):
+                    v = getattr(n, f.name)
+                    if isinstance(v, Expr):
+                        nv = go(v, blk)
+                        if nv is not v:
+                            changes[f.name] = nv
+                    elif isinstance(v, tuple) and v and all(
+                        isinstance(x, Expr) for x in v
+                    ):
+                        nv = tuple(go(x, blk) for x in v)
+                        if any(a is not b for a, b in zip(nv, v)):
+                            changes[f.name] = nv
+                    elif isinstance(v, (GenarrayOp, ModarrayOp, FoldOp, Generator)):
+                        nv = node_go(v, blk)
+                        if nv is not v:
+                            changes[f.name] = nv
+                return dataclasses.replace(n, **changes) if changes else n
+
+            # Generator bounds are evaluated outside the index binding in
+            # SAC; still, an index variable shadowing a substituted name
+            # must block substitution in the body.  Bounds first:
+            gen = node_go(e.generator, blocked)
+            # ... but the index variable cannot occur in its own bounds;
+            # rebuild the generator with outer blocking, the operation
+            # with the inner blocking.
+            op = node_go(e.operation, inner_blocked)
+            return dataclasses.replace(e, generator=gen, operation=op)
+        changes = {}
+        for f in dataclasses.fields(e):
+            v = getattr(e, f.name)
+            if isinstance(v, Expr):
+                nv = go(v, blocked)
+                if nv is not v:
+                    changes[f.name] = nv
+            elif isinstance(v, tuple) and v and all(isinstance(x, Expr) for x in v):
+                nv = tuple(go(x, blocked) for x in v)
+                if any(a is not b for a, b in zip(nv, v)):
+                    changes[f.name] = nv
+        return dataclasses.replace(e, **changes) if changes else e
+
+    return go(expr, frozenset())
+
+
+def ast_key(node) -> object:
+    """Hashable structural key of an AST fragment, ignoring positions."""
+    if isinstance(node, Node):
+        parts = [type(node).__name__]
+        for f in dataclasses.fields(node):
+            if f.name == "pos":
+                continue
+            parts.append(ast_key(getattr(node, f.name)))
+        return tuple(parts)
+    if isinstance(node, tuple):
+        return tuple(ast_key(x) for x in node)
+    return node
+
+
+def ast_equal(a, b) -> bool:
+    """Structural equality ignoring source positions."""
+    return ast_key(a) == ast_key(b)
+
+
+def rename_vars(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Rename variables (used for alpha-conversion during inlining)."""
+    return substitute(expr, {k: Var(v) for k, v in mapping.items()})
+
+
+def fresh_namer(prefix: str = "_t"):
+    """A generator of fresh names, stable within one pass invocation."""
+    counter = [0]
+
+    def fresh(base: str = "") -> str:
+        counter[0] += 1
+        return f"{prefix}{counter[0]}_{base}" if base else f"{prefix}{counter[0]}"
+
+    return fresh

@@ -1,0 +1,501 @@
+"""Recursive-descent parser for the SAC subset.
+
+Grammar (paper Fig. 1 WITH-loop syntax embedded in a functional C core)::
+
+    program    := fundef*
+    fundef     := ['inline'] type IDENT '(' [param {',' param}] ')' block
+    type       := basetype ['[' ('+' | '*' | ints | dots) ']']
+    block      := '{' stmt* '}'
+    stmt       := assign ';' | if | for | while | return ';' | expr ';'
+    assign     := IDENT ('=' | '+=' | '-=' | '*=' | '/=') expr
+    return     := 'return' expr
+    expr       := or-expr (usual C precedence, no assignment expressions)
+    postfix    := primary { '[' expr ']' }
+    primary    := literal | vector | IDENT | call | '(' expr ')' | withloop
+    withloop   := 'with' '(' generator ')' operation
+    generator  := bound relop IDENT relop bound ['step' expr ['width' expr]]
+    bound      := '.' | add-expr
+    operation  := 'genarray' '(' expr ',' expr ')'
+                | 'modarray' '(' expr ',' expr ')'
+                | 'fold' '(' foldop ',' expr ',' expr ')'
+
+Generator bounds parse at additive precedence so the generator's own
+relational operators are unambiguous.
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    BoolLit,
+    Call,
+    Dot,
+    DoubleLit,
+    DoWhile,
+    Expr,
+    FoldOp,
+    For,
+    FunDef,
+    GenarrayOp,
+    Generator,
+    If,
+    IntLit,
+    ModarrayOp,
+    Param,
+    Program,
+    Return,
+    Select,
+    Stmt,
+    UnOp,
+    Var,
+    VectorLit,
+    While,
+    WithLoop,
+)
+from .errors import SacSyntaxError
+from .lexer import tokenize
+from .sactypes import BaseType, SacType
+from .tokens import Token, TokenKind as T
+
+__all__ = ["parse_program", "parse_expression", "Parser"]
+
+_AUGOPS = {
+    T.PLUS_ASSIGN: "+",
+    T.MINUS_ASSIGN: "-",
+    T.STAR_ASSIGN: "*",
+    T.SLASH_ASSIGN: "/",
+}
+
+_BASETYPES = {
+    T.KW_INT: BaseType.INT,
+    T.KW_DOUBLE: BaseType.DOUBLE,
+    T.KW_BOOL: BaseType.BOOL,
+    T.KW_VOID: BaseType.VOID,
+}
+
+
+class Parser:
+    """Token-stream parser; use the module-level helpers for convenience."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token utilities ---------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def peek(self, k: int = 1) -> Token:
+        j = min(self.i + k, len(self.tokens) - 1)
+        return self.tokens[j]
+
+    def at(self, kind: T) -> bool:
+        return self.cur.kind is kind
+
+    def accept(self, kind: T) -> Token | None:
+        if self.at(kind):
+            tok = self.cur
+            self.i += 1
+            return tok
+        return None
+
+    def expect(self, kind: T, what: str = "") -> Token:
+        if not self.at(kind):
+            wanted = what or kind.name
+            raise SacSyntaxError(
+                f"expected {wanted}, found {self.cur.text!r}", self.cur.pos
+            )
+        tok = self.cur
+        self.i += 1
+        return tok
+
+    # -- program structure -------------------------------------------------
+
+    def parse_program(self) -> Program:
+        funs = []
+        while not self.at(T.EOF):
+            funs.append(self.parse_fundef())
+        return Program(tuple(funs))
+
+    def parse_fundef(self) -> FunDef:
+        pos = self.cur.pos
+        inline = self.accept(T.KW_INLINE) is not None
+        rtype = self.parse_type()
+        # ``genarray``/``modarray`` are also legal *function* names — the
+        # paper's Fig. 10 defines a library function called genarray.
+        if self.cur.kind in (T.KW_GENARRAY, T.KW_MODARRAY):
+            name = self.cur.text
+            self.i += 1
+        else:
+            name = self.expect(T.IDENT, "function name").text
+        self.expect(T.LPAREN)
+        params: list[Param] = []
+        if not self.at(T.RPAREN):
+            while True:
+                ppos = self.cur.pos
+                ptype = self.parse_type()
+                pname = self.expect(T.IDENT, "parameter name").text
+                params.append(Param(ptype, pname, ppos))
+                if not self.accept(T.COMMA):
+                    break
+        self.expect(T.RPAREN)
+        body = self.parse_block()
+        return FunDef(name, tuple(params), rtype, body, inline, pos)
+
+    def parse_type(self) -> SacType:
+        tok = self.cur
+        base = _BASETYPES.get(tok.kind)
+        if base is None:
+            raise SacSyntaxError(f"expected a type, found {tok.text!r}", tok.pos)
+        self.i += 1
+        if not self.accept(T.LBRACKET):
+            return SacType.scalar(base)
+        if self.accept(T.PLUS):
+            self.expect(T.RBRACKET)
+            return SacType.aud_plus(base)
+        if self.accept(T.STAR):
+            self.expect(T.RBRACKET)
+            return SacType.aud_star(base)
+        if self.at(T.DOT):
+            rank = 0
+            while self.accept(T.DOT):
+                rank += 1
+                if not self.accept(T.COMMA):
+                    break
+            self.expect(T.RBRACKET)
+            return SacType.akd(base, rank)
+        shape = []
+        while True:
+            lit = self.expect(T.INT, "array extent")
+            shape.append(int(lit.text))
+            if not self.accept(T.COMMA):
+                break
+        self.expect(T.RBRACKET)
+        return SacType.aks(base, tuple(shape))
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_block(self) -> Block:
+        pos = self.expect(T.LBRACE).pos
+        stmts: list[Stmt] = []
+        while not self.at(T.RBRACE):
+            stmts.append(self.parse_stmt())
+        self.expect(T.RBRACE)
+        return Block(tuple(stmts), pos)
+
+    def parse_block_or_stmt(self) -> Block:
+        if self.at(T.LBRACE):
+            return self.parse_block()
+        stmt = self.parse_stmt()
+        return Block((stmt,), getattr(stmt, "pos", None))
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.cur
+        if tok.kind is T.KW_RETURN:
+            self.i += 1
+            value = self.parse_expr()
+            self.expect(T.SEMI)
+            return Return(value, tok.pos)
+        if tok.kind is T.KW_IF:
+            return self.parse_if()
+        if tok.kind is T.KW_FOR:
+            return self.parse_for()
+        if tok.kind is T.KW_WHILE:
+            self.i += 1
+            self.expect(T.LPAREN)
+            cond = self.parse_expr()
+            self.expect(T.RPAREN)
+            body = self.parse_block_or_stmt()
+            return While(cond, body, tok.pos)
+        if tok.kind is T.KW_DO:
+            self.i += 1
+            body = self.parse_block_or_stmt()
+            self.expect(T.KW_WHILE, "'while' after do-body")
+            self.expect(T.LPAREN)
+            cond = self.parse_expr()
+            self.expect(T.RPAREN)
+            self.expect(T.SEMI)
+            return DoWhile(body, cond, tok.pos)
+        if tok.kind is T.IDENT and self._next_is_assignment():
+            stmt = self.parse_assign()
+            self.expect(T.SEMI)
+            return stmt
+        expr = self.parse_expr()
+        self.expect(T.SEMI)
+        from .ast_nodes import ExprStmt
+
+        return ExprStmt(expr, tok.pos)
+
+    def _next_is_assignment(self) -> bool:
+        nxt = self.peek().kind
+        return nxt is T.ASSIGN or nxt in _AUGOPS
+
+    def parse_assign(self) -> Assign:
+        tok = self.expect(T.IDENT)
+        name = tok.text
+        if self.accept(T.ASSIGN):
+            value = self.parse_expr()
+        else:
+            for kind, op in _AUGOPS.items():
+                if self.accept(kind):
+                    value = BinOp(op, Var(name, tok.pos), self.parse_expr(), tok.pos)
+                    break
+            else:
+                raise SacSyntaxError("expected assignment operator", self.cur.pos)
+        return Assign(name, value, tok.pos)
+
+    def parse_if(self) -> If:
+        pos = self.expect(T.KW_IF).pos
+        self.expect(T.LPAREN)
+        cond = self.parse_expr()
+        self.expect(T.RPAREN)
+        then = self.parse_block_or_stmt()
+        orelse = None
+        if self.accept(T.KW_ELSE):
+            if self.at(T.KW_IF):
+                nested = self.parse_if()
+                orelse = Block((nested,), nested.pos)
+            else:
+                orelse = self.parse_block_or_stmt()
+        return If(cond, then, orelse, pos)
+
+    def parse_for(self) -> For:
+        pos = self.expect(T.KW_FOR).pos
+        self.expect(T.LPAREN)
+        init = self.parse_assign()
+        self.expect(T.SEMI)
+        cond = self.parse_expr()
+        self.expect(T.SEMI)
+        update = self.parse_assign()
+        self.expect(T.RPAREN)
+        body = self.parse_block_or_stmt()
+        return For(init, cond, update, body, pos)
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.at(T.OR):
+            pos = self.cur.pos
+            self.i += 1
+            left = BinOp("||", left, self.parse_and(), pos)
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_cmp()
+        while self.at(T.AND):
+            pos = self.cur.pos
+            self.i += 1
+            left = BinOp("&&", left, self.parse_cmp(), pos)
+        return left
+
+    _CMPOPS = {T.EQ: "==", T.NE: "!=", T.LT: "<", T.LE: "<=", T.GT: ">", T.GE: ">="}
+
+    def parse_cmp(self) -> Expr:
+        left = self.parse_add()
+        op = self._CMPOPS.get(self.cur.kind)
+        if op is not None:
+            pos = self.cur.pos
+            self.i += 1
+            return BinOp(op, left, self.parse_add(), pos)
+        return left
+
+    def parse_add(self) -> Expr:
+        left = self.parse_mul()
+        while self.cur.kind in (T.PLUS, T.MINUS):
+            op = "+" if self.cur.kind is T.PLUS else "-"
+            pos = self.cur.pos
+            self.i += 1
+            left = BinOp(op, left, self.parse_mul(), pos)
+        return left
+
+    def parse_mul(self) -> Expr:
+        left = self.parse_unary()
+        ops = {T.STAR: "*", T.SLASH: "/", T.PERCENT: "%"}
+        while self.cur.kind in ops:
+            op = ops[self.cur.kind]
+            pos = self.cur.pos
+            self.i += 1
+            left = BinOp(op, left, self.parse_unary(), pos)
+        return left
+
+    def parse_unary(self) -> Expr:
+        tok = self.cur
+        if tok.kind is T.MINUS:
+            self.i += 1
+            return UnOp("-", self.parse_unary(), tok.pos)
+        if tok.kind is T.NOT:
+            self.i += 1
+            return UnOp("!", self.parse_unary(), tok.pos)
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while self.at(T.LBRACKET):
+            pos = self.cur.pos
+            self.i += 1
+            index = self.parse_expr()
+            self.expect(T.RBRACKET)
+            expr = Select(expr, index, pos)
+        return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind is T.INT:
+            self.i += 1
+            return IntLit(int(tok.text), tok.pos)
+        if tok.kind is T.DOUBLE:
+            self.i += 1
+            return DoubleLit(float(tok.text), tok.pos)
+        if tok.kind is T.KW_TRUE:
+            self.i += 1
+            return BoolLit(True, tok.pos)
+        if tok.kind is T.KW_FALSE:
+            self.i += 1
+            return BoolLit(False, tok.pos)
+        if tok.kind is T.LPAREN:
+            self.i += 1
+            expr = self.parse_expr()
+            self.expect(T.RPAREN)
+            return expr
+        if tok.kind is T.LBRACKET:
+            self.i += 1
+            elements: list[Expr] = []
+            if not self.at(T.RBRACKET):
+                while True:
+                    elements.append(self.parse_expr())
+                    if not self.accept(T.COMMA):
+                        break
+            self.expect(T.RBRACKET)
+            return VectorLit(tuple(elements), tok.pos)
+        if tok.kind is T.KW_WITH:
+            return self.parse_withloop()
+        if tok.kind is T.IDENT:
+            self.i += 1
+            if self.at(T.LPAREN):
+                self.i += 1
+                args: list[Expr] = []
+                if not self.at(T.RPAREN):
+                    while True:
+                        args.append(self.parse_expr())
+                        if not self.accept(T.COMMA):
+                            break
+                self.expect(T.RPAREN)
+                return Call(tok.text, tuple(args), tok.pos)
+            return Var(tok.text, tok.pos)
+        # Built-in array operations used in expression position parse as
+        # ordinary calls: genarray(shp, val) outside a WITH-loop is the
+        # library function of Fig. 10.
+        if tok.kind in (T.KW_GENARRAY, T.KW_MODARRAY):
+            self.i += 1
+            self.expect(T.LPAREN)
+            args = [self.parse_expr()]
+            while self.accept(T.COMMA):
+                args.append(self.parse_expr())
+            self.expect(T.RPAREN)
+            return Call(tok.text, tuple(args), tok.pos)
+        raise SacSyntaxError(f"unexpected token {tok.text!r}", tok.pos)
+
+    # -- WITH-loops ----------------------------------------------------------
+
+    def parse_withloop(self) -> WithLoop:
+        pos = self.expect(T.KW_WITH).pos
+        self.expect(T.LPAREN)
+        gen = self.parse_generator()
+        self.expect(T.RPAREN)
+        op = self.parse_operation()
+        return WithLoop(gen, op, pos)
+
+    def parse_bound(self) -> Expr:
+        if self.at(T.DOT):
+            pos = self.cur.pos
+            self.i += 1
+            return Dot(pos)
+        return self.parse_add()
+
+    def _relop(self) -> bool:
+        """Consume `<` or `<=`; return inclusiveness."""
+        if self.accept(T.LE):
+            return True
+        if self.accept(T.LT):
+            return False
+        raise SacSyntaxError(
+            f"expected '<' or '<=' in generator, found {self.cur.text!r}",
+            self.cur.pos,
+        )
+
+    def parse_generator(self) -> Generator:
+        pos = self.cur.pos
+        lower = self.parse_bound()
+        lower_inc = self._relop()
+        var = self.expect(T.IDENT, "index variable").text
+        upper_inc = self._relop()
+        upper = self.parse_bound()
+        step = width = None
+        if self.accept(T.KW_STEP):
+            step = self.parse_add()
+            if self.accept(T.KW_WIDTH):
+                width = self.parse_add()
+        return Generator(lower, lower_inc, var, upper, upper_inc, step, width, pos)
+
+    def parse_operation(self):
+        tok = self.cur
+        if self.accept(T.KW_GENARRAY):
+            self.expect(T.LPAREN)
+            shape = self.parse_expr()
+            self.expect(T.COMMA)
+            body = self.parse_expr()
+            self.expect(T.RPAREN)
+            return GenarrayOp(shape, body, tok.pos)
+        if self.accept(T.KW_MODARRAY):
+            self.expect(T.LPAREN)
+            array = self.parse_expr()
+            self.expect(T.COMMA)
+            body = self.parse_expr()
+            self.expect(T.RPAREN)
+            return ModarrayOp(array, body, tok.pos)
+        if self.accept(T.KW_FOLD):
+            self.expect(T.LPAREN)
+            fun = self.parse_fold_fun()
+            self.expect(T.COMMA)
+            neutral = self.parse_expr()
+            self.expect(T.COMMA)
+            body = self.parse_expr()
+            self.expect(T.RPAREN)
+            return FoldOp(fun, neutral, body, tok.pos)
+        raise SacSyntaxError(
+            f"expected genarray/modarray/fold, found {tok.text!r}", tok.pos
+        )
+
+    def parse_fold_fun(self) -> str:
+        tok = self.cur
+        if tok.kind is T.IDENT:
+            self.i += 1
+            return tok.text
+        symbol_ops = {T.PLUS: "+", T.STAR: "*"}
+        if tok.kind in symbol_ops:
+            self.i += 1
+            return symbol_ops[tok.kind]
+        raise SacSyntaxError(
+            f"expected fold operation name, found {tok.text!r}", tok.pos
+        )
+
+
+def parse_program(source: str, filename: str = "<sac>") -> Program:
+    """Parse a complete SAC module."""
+    return Parser(tokenize(source, filename)).parse_program()
+
+
+def parse_expression(source: str, filename: str = "<sac>") -> Expr:
+    """Parse a single expression (testing/REPL helper)."""
+    parser = Parser(tokenize(source, filename))
+    expr = parser.parse_expr()
+    parser.expect(T.EOF, "end of input")
+    return expr

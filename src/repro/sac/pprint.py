@@ -1,0 +1,168 @@
+"""SAC pretty-printer: AST back to source text.
+
+Used for optimizer-output inspection (``sac2c``'s ``-bopt`` moral
+equivalent), error messages, and round-trip testing of the parser
+(``parse(pprint(parse(src)))`` is structurally identical to
+``parse(src)``).
+"""
+
+from __future__ import annotations
+
+from .ast_nodes import (
+    Assign,
+    DoWhile,
+    BinOp,
+    Block,
+    BoolLit,
+    Call,
+    Dot,
+    DoubleLit,
+    Expr,
+    ExprStmt,
+    FoldOp,
+    For,
+    FunDef,
+    GenarrayOp,
+    Generator,
+    If,
+    IntLit,
+    ModarrayOp,
+    Program,
+    Return,
+    Select,
+    Stmt,
+    UnOp,
+    Var,
+    VectorLit,
+    While,
+    WithLoop,
+)
+
+__all__ = ["pprint_program", "pprint_fundef", "pprint_stmt", "pprint_expr"]
+
+# Binding strength; higher binds tighter.  Mirrors the parser's levels.
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3, "<": 3, "<=": 3, ">": 3, ">=": 3,
+    "+": 4, "-": 4,
+    "*": 5, "/": 5, "%": 5,
+}
+_UNARY_PREC = 6
+_POSTFIX_PREC = 7
+
+
+def pprint_expr(expr: Expr, prec: int = 0) -> str:
+    """Render an expression, parenthesizing against context ``prec``."""
+    text, my_prec = _render(expr)
+    if my_prec < prec:
+        return f"({text})"
+    return text
+
+
+def _render(expr: Expr) -> tuple[str, int]:
+    if isinstance(expr, IntLit):
+        return str(expr.value), _POSTFIX_PREC
+    if isinstance(expr, DoubleLit):
+        v = repr(expr.value)
+        if "." not in v and "e" not in v and "E" not in v and "inf" not in v \
+                and "nan" not in v:
+            v += ".0"
+        return v, _POSTFIX_PREC
+    if isinstance(expr, BoolLit):
+        return ("true" if expr.value else "false"), _POSTFIX_PREC
+    if isinstance(expr, Var):
+        return expr.name, _POSTFIX_PREC
+    if isinstance(expr, Dot):
+        return ".", _POSTFIX_PREC
+    if isinstance(expr, VectorLit):
+        inner = ", ".join(pprint_expr(e) for e in expr.elements)
+        return f"[{inner}]", _POSTFIX_PREC
+    if isinstance(expr, UnOp):
+        operand = pprint_expr(expr.operand, _UNARY_PREC)
+        return f"{expr.op}{operand}", _UNARY_PREC
+    if isinstance(expr, BinOp):
+        p = _PREC[expr.op]
+        # Left-associative: the right child needs one more level; the
+        # comparisons are non-associative, so both children do.
+        left_prec = p + 1 if p == 3 else p
+        left = pprint_expr(expr.left, left_prec)
+        right = pprint_expr(expr.right, p + 1)
+        return f"{left} {expr.op} {right}", p
+    if isinstance(expr, Call):
+        args = ", ".join(pprint_expr(a) for a in expr.args)
+        return f"{expr.name}({args})", _POSTFIX_PREC
+    if isinstance(expr, Select):
+        array = pprint_expr(expr.array, _POSTFIX_PREC)
+        return f"{array}[{pprint_expr(expr.index)}]", _POSTFIX_PREC
+    if isinstance(expr, WithLoop):
+        gen = _render_generator(expr.generator)
+        op = _render_operation(expr.operation)
+        return f"with ({gen}) {op}", 0
+    raise TypeError(f"cannot pretty-print {type(expr).__name__}")
+
+
+def _render_generator(gen: Generator) -> str:
+    lo = pprint_expr(gen.lower)
+    hi = pprint_expr(gen.upper)
+    lrel = "<=" if gen.lower_inclusive else "<"
+    urel = "<=" if gen.upper_inclusive else "<"
+    text = f"{lo} {lrel} {gen.var} {urel} {hi}"
+    if gen.step is not None:
+        text += f" step {pprint_expr(gen.step)}"
+    if gen.width is not None:
+        text += f" width {pprint_expr(gen.width)}"
+    return text
+
+
+def _render_operation(op) -> str:
+    if isinstance(op, GenarrayOp):
+        return f"genarray({pprint_expr(op.shape)}, {pprint_expr(op.body)})"
+    if isinstance(op, ModarrayOp):
+        return f"modarray({pprint_expr(op.array)}, {pprint_expr(op.body)})"
+    if isinstance(op, FoldOp):
+        return (f"fold({op.fun}, {pprint_expr(op.neutral)}, "
+                f"{pprint_expr(op.body)})")
+    raise TypeError(f"cannot pretty-print {type(op).__name__}")
+
+
+def pprint_stmt(stmt: Stmt, indent: int = 0) -> str:
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        return f"{pad}{stmt.target} = {pprint_expr(stmt.value)};"
+    if isinstance(stmt, Return):
+        return f"{pad}return {pprint_expr(stmt.value)};"
+    if isinstance(stmt, ExprStmt):
+        return f"{pad}{pprint_expr(stmt.expr)};"
+    if isinstance(stmt, Block):
+        inner = "\n".join(pprint_stmt(s, indent + 1) for s in stmt.statements)
+        return f"{pad}{{\n{inner}\n{pad}}}"
+    if isinstance(stmt, If):
+        out = f"{pad}if ({pprint_expr(stmt.cond)})\n"
+        out += pprint_stmt(stmt.then, indent)
+        if stmt.orelse is not None:
+            out += f"\n{pad}else\n" + pprint_stmt(stmt.orelse, indent)
+        return out
+    if isinstance(stmt, For):
+        init = pprint_stmt(stmt.init, 0)[:-1]  # strip ';'
+        update = pprint_stmt(stmt.update, 0)[:-1]
+        head = (f"{pad}for ({init}; {pprint_expr(stmt.cond)}; {update})\n")
+        return head + pprint_stmt(stmt.body, indent)
+    if isinstance(stmt, While):
+        return (f"{pad}while ({pprint_expr(stmt.cond)})\n"
+                + pprint_stmt(stmt.body, indent))
+    if isinstance(stmt, DoWhile):
+        return (f"{pad}do\n" + pprint_stmt(stmt.body, indent)
+                + f"\n{pad}while ({pprint_expr(stmt.cond)});")
+    raise TypeError(f"cannot pretty-print {type(stmt).__name__}")
+
+
+def pprint_fundef(fun: FunDef) -> str:
+    params = ", ".join(f"{p.type} {p.name}" for p in fun.params)
+    inline = "inline " if fun.inline else ""
+    head = f"{inline}{fun.return_type} {fun.name}({params})"
+    return head + "\n" + pprint_stmt(fun.body, 0)
+
+
+def pprint_program(program: Program) -> str:
+    return "\n\n".join(pprint_fundef(f) for f in program.functions) + "\n"

@@ -1,0 +1,129 @@
+"""SAC's shape-polymorphic array type system.
+
+A type is a base type plus a *shape class*:
+
+* ``double``        — scalar (rank 0),
+* ``double[3,3]``   — array of known shape (AKS),
+* ``double[.]``     — vector of unknown length (AKD, rank 1),
+* ``double[.,.]``   — matrix of unknown extents (AKD, rank 2),
+* ``double[+]``     — array of unknown rank >= 1 (AUD+),
+* ``double[*]``     — array of any rank including scalars (AUD*).
+
+Subtyping (specificity) follows SAC: AKS <= AKD <= AUD+ <= AUD*; scalars
+are below AUD* only.  Function overloading resolves to the most specific
+signature that matches the argument types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["BaseType", "ShapeKind", "SacType", "INT", "DOUBLE", "BOOL", "VOID"]
+
+
+class BaseType(Enum):
+    INT = "int"
+    DOUBLE = "double"
+    BOOL = "bool"
+    VOID = "void"
+
+
+class ShapeKind(Enum):
+    SCALAR = "scalar"   # rank 0
+    AKS = "aks"         # known shape, e.g. [3,3]
+    AKD = "akd"         # known rank, unknown extents, e.g. [.,.]
+    AUDGZ = "aud+"      # unknown rank >= 1
+    AUD = "aud*"        # any rank including 0
+
+
+@dataclass(frozen=True)
+class SacType:
+    """Base type + shape class (+ shape/rank where known)."""
+
+    base: BaseType
+    kind: ShapeKind = ShapeKind.SCALAR
+    #: Known shape (AKS only).
+    shape: Optional[tuple[int, ...]] = None
+    #: Known rank (AKS and AKD).
+    rank: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is ShapeKind.AKS:
+            if self.shape is None:
+                raise ValueError("AKS type requires a shape")
+            object.__setattr__(self, "rank", len(self.shape))
+        elif self.kind is ShapeKind.AKD and self.rank is None:
+            raise ValueError("AKD type requires a rank")
+        elif self.kind is ShapeKind.SCALAR:
+            object.__setattr__(self, "rank", 0)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def scalar(base: BaseType) -> "SacType":
+        return SacType(base, ShapeKind.SCALAR)
+
+    @staticmethod
+    def aks(base: BaseType, shape: tuple[int, ...]) -> "SacType":
+        return SacType(base, ShapeKind.AKS, shape=tuple(shape))
+
+    @staticmethod
+    def akd(base: BaseType, rank: int) -> "SacType":
+        return SacType(base, ShapeKind.AKD, rank=rank)
+
+    @staticmethod
+    def aud_plus(base: BaseType) -> "SacType":
+        return SacType(base, ShapeKind.AUDGZ)
+
+    @staticmethod
+    def aud_star(base: BaseType) -> "SacType":
+        return SacType(base, ShapeKind.AUD)
+
+    # -- relations ---------------------------------------------------------
+
+    def accepts(self, other: "SacType") -> bool:
+        """Does a parameter of this type accept an argument of ``other``?
+
+        ``other`` is expected to be a concrete value type (scalar or AKS).
+        """
+        if self.base is not other.base:
+            return False
+        if self.kind is ShapeKind.AUD:
+            return True
+        if self.kind is ShapeKind.AUDGZ:
+            return other.rank is not None and other.rank >= 1
+        if self.kind is ShapeKind.AKD:
+            return other.rank == self.rank
+        if self.kind is ShapeKind.AKS:
+            return other.kind is ShapeKind.AKS and other.shape == self.shape
+        # Scalar parameter.
+        return other.kind is ShapeKind.SCALAR
+
+    def specificity(self) -> int:
+        """Lower is more specific (for overload ranking)."""
+        return {
+            ShapeKind.SCALAR: 0,
+            ShapeKind.AKS: 0,
+            ShapeKind.AKD: 1,
+            ShapeKind.AUDGZ: 2,
+            ShapeKind.AUD: 3,
+        }[self.kind]
+
+    def __str__(self) -> str:
+        if self.kind is ShapeKind.SCALAR:
+            return self.base.value
+        if self.kind is ShapeKind.AKS:
+            return f"{self.base.value}[{','.join(map(str, self.shape))}]"
+        if self.kind is ShapeKind.AKD:
+            return f"{self.base.value}[{','.join('.' * self.rank)}]"
+        if self.kind is ShapeKind.AUDGZ:
+            return f"{self.base.value}[+]"
+        return f"{self.base.value}[*]"
+
+
+INT = SacType.scalar(BaseType.INT)
+DOUBLE = SacType.scalar(BaseType.DOUBLE)
+BOOL = SacType.scalar(BaseType.BOOL)
+VOID = SacType.scalar(BaseType.VOID)

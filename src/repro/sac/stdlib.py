@@ -1,0 +1,221 @@
+"""The SAC array library prelude, written in SAC itself.
+
+This is the paper's Fig. 10 verbatim (modulo our dialect's spelling of
+scalar selection) plus a handful of generally useful dimension-invariant
+helpers in the same style.  Every function here runs through the same
+front end and WITH-loop machinery as user programs — exactly the
+"array support specified in the language itself" design the paper
+advocates.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .ast_nodes import Program
+from .parser import parse_program
+
+__all__ = ["PRELUDE_SOURCE", "load_prelude"]
+
+PRELUDE_SOURCE = """
+/* ------------------------------------------------------------------ */
+/* Fig. 10 — the array library functions used by the MG benchmark.    */
+/* Marked inline: sac2c auto-inlines small functions; the marker makes  */
+/* our pipeline do the same so WITH-loop folding can fuse them.        */
+/* ------------------------------------------------------------------ */
+
+inline double[+] genarray( int[.] shp, double val)
+{
+  a = with (. <= iv <= .)
+      genarray( shp, val);
+  return( a);
+}
+
+inline double[+] condense( int str, double[+] a)
+{
+  ac = with (. <= iv <= .)
+       genarray( shape(a) / str,
+                 a[str*iv]);
+  return( ac);
+}
+
+inline double[+] scatter( int str, double[+] a)
+{
+  as = with (. <= iv <= . step str)
+       genarray( str * shape(a),
+                 a[iv/str]);
+  return( as);
+}
+
+inline double[+] embed( int[.] shp, int[.] pos, double[+] a)
+{
+  ae = with (pos <= iv < shape(a) + pos)
+       genarray( shp, a[iv-pos]);
+  return( ae);
+}
+
+inline double[+] take( int[.] shp, double[+] a)
+{
+  at = with (. <= iv <= .)
+       genarray( shp, a[iv]);
+  return( at);
+}
+
+/* ------------------------------------------------------------------ */
+/* General dimension-invariant helpers in the same style.             */
+/* ------------------------------------------------------------------ */
+
+/* Element count of an array. */
+int count( double[+] a)
+{
+  n = with (0*shape(a) <= iv < shape(a))
+      fold( +, 0, 1);
+  return( n);
+}
+
+/* Sum / product / extrema reductions, WITH-loop spelled. */
+double sum_all( double[+] a)
+{
+  s = with (0*shape(a) <= iv < shape(a))
+      fold( +, 0.0, a[iv]);
+  return( s);
+}
+
+double prod_all( double[+] a)
+{
+  p = with (0*shape(a) <= iv < shape(a))
+      fold( *, 1.0, a[iv]);
+  return( p);
+}
+
+double max_all( double[+] a)
+{
+  m = with (0*shape(a) <= iv < shape(a))
+      fold( max, a[0*shape(a)], a[iv]);
+  return( m);
+}
+
+double min_all( double[+] a)
+{
+  m = with (0*shape(a) <= iv < shape(a))
+      fold( min, a[0*shape(a)], a[iv]);
+  return( m);
+}
+
+double l2norm( double[+] a)
+{
+  s = with (0*shape(a) <= iv < shape(a))
+      fold( +, 0.0, a[iv] * a[iv]);
+  return( sqrt( s / tod(count(a))));
+}
+
+/* Elementwise maps as WITH-loops (the interpreter also extends the
+   operators elementwise; these exist to cross-check that shortcut). */
+double[+] add_arrays( double[+] a, double[+] b)
+{
+  c = with (. <= iv <= .)
+      modarray( a, a[iv] + b[iv]);
+  return( c);
+}
+
+double[+] sub_arrays( double[+] a, double[+] b)
+{
+  c = with (. <= iv <= .)
+      modarray( a, a[iv] - b[iv]);
+  return( c);
+}
+
+double[+] scale( double s, double[+] a)
+{
+  c = with (. <= iv <= .)
+      modarray( a, s * a[iv]);
+  return( c);
+}
+
+/* Rotate a vector left by off positions (wraps around). */
+double[.] rotate_left( int off, double[.] v)
+{
+  n = shape(v)[[0]];
+  r = with (. <= iv <= .)
+      modarray( v, v[ (iv + off) % [n] ]);
+  return( r);
+}
+
+/* Inner product of two vectors. */
+double dot( double[.] a, double[.] b)
+{
+  s = with ([0] <= iv < shape(a))
+      fold( +, 0.0, a[iv] * b[iv]);
+  return( s);
+}
+
+/* Identity stencil helper: Manhattan distance class of an offset
+   vector ov in {0,1,2}^n relative to the cube center. */
+int dist_class( int[.] ov)
+{
+  d = sum( abs( ov - 1));
+  return( d);
+}
+
+/* ------------------------------------------------------------------ */
+/* Further APL-flavoured building blocks.                             */
+/* ------------------------------------------------------------------ */
+
+/* iota(n): the vector [0, 1, ..., n-1]. */
+int[.] iota( int n)
+{
+  v = with ([0] <= iv < [n])
+      genarray( [n], iv[[0]]);
+  return( v);
+}
+
+/* Reverse a vector. */
+double[.] reverse( double[.] v)
+{
+  n = shape(v)[[0]];
+  r = with (. <= iv <= .)
+      modarray( v, v[ [n - 1] - iv ]);
+  return( r);
+}
+
+/* drop(k, v): everything after the first k elements (complement of
+   take, as in APL). */
+double[.] drop( int k, double[.] v)
+{
+  d = with (. <= iv <= .)
+      genarray( shape(v) - k, v[iv + k]);
+  return( d);
+}
+
+/* Matrix transpose. */
+double[.,.] transpose( double[.,.] m)
+{
+  t = with (. <= iv <= .)
+      genarray( [shape(m)[[1]], shape(m)[[0]]],
+                m[ [iv[[1]], iv[[0]]] ]);
+  return( t);
+}
+
+/* Clamp every element into [lo, hi]. */
+double[+] clamp( double lo, double hi, double[+] a)
+{
+  c = with (. <= iv <= .)
+      modarray( a, min( hi, max( lo, a[iv])));
+  return( c);
+}
+
+/* Outer product of two vectors. */
+double[.,.] outer( double[.] a, double[.] b)
+{
+  o = with (. <= iv <= .)
+      genarray( [shape(a)[[0]], shape(b)[[0]]],
+                a[[iv[[0]]]] * b[[iv[[1]]]]);
+  return( o);
+}
+"""
+
+
+@lru_cache(maxsize=1)
+def load_prelude() -> Program:
+    """Parse the prelude once and cache the AST."""
+    return parse_program(PRELUDE_SOURCE, "<prelude>")

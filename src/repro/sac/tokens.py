@@ -1,0 +1,107 @@
+"""Token definitions for the SAC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from .errors import SourcePos
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(Enum):
+    # Literals and identifiers.
+    INT = auto()
+    DOUBLE = auto()
+    IDENT = auto()
+
+    # Keywords.
+    KW_IF = auto()
+    KW_ELSE = auto()
+    KW_FOR = auto()
+    KW_WHILE = auto()
+    KW_DO = auto()
+    KW_RETURN = auto()
+    KW_WITH = auto()
+    KW_GENARRAY = auto()
+    KW_MODARRAY = auto()
+    KW_FOLD = auto()
+    KW_STEP = auto()
+    KW_WIDTH = auto()
+    KW_INLINE = auto()
+    KW_TRUE = auto()
+    KW_FALSE = auto()
+    KW_INT = auto()
+    KW_DOUBLE = auto()
+    KW_BOOL = auto()
+    KW_VOID = auto()
+
+    # Punctuation.
+    LPAREN = auto()
+    RPAREN = auto()
+    LBRACE = auto()
+    RBRACE = auto()
+    LBRACKET = auto()
+    RBRACKET = auto()
+    COMMA = auto()
+    SEMI = auto()
+    DOT = auto()
+
+    # Operators.
+    PLUS = auto()
+    MINUS = auto()
+    STAR = auto()
+    SLASH = auto()
+    PERCENT = auto()
+    ASSIGN = auto()
+    PLUS_ASSIGN = auto()
+    MINUS_ASSIGN = auto()
+    STAR_ASSIGN = auto()
+    SLASH_ASSIGN = auto()
+    EQ = auto()
+    NE = auto()
+    LT = auto()
+    LE = auto()
+    GT = auto()
+    GE = auto()
+    AND = auto()
+    OR = auto()
+    NOT = auto()
+
+    EOF = auto()
+
+
+KEYWORDS: dict[str, TokenKind] = {
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "for": TokenKind.KW_FOR,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "return": TokenKind.KW_RETURN,
+    "with": TokenKind.KW_WITH,
+    "genarray": TokenKind.KW_GENARRAY,
+    "modarray": TokenKind.KW_MODARRAY,
+    "fold": TokenKind.KW_FOLD,
+    "step": TokenKind.KW_STEP,
+    "width": TokenKind.KW_WIDTH,
+    "inline": TokenKind.KW_INLINE,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "int": TokenKind.KW_INT,
+    "double": TokenKind.KW_DOUBLE,
+    "bool": TokenKind.KW_BOOL,
+    "void": TokenKind.KW_VOID,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    pos: SourcePos
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.text!r}, {self.pos})"

@@ -1,0 +1,267 @@
+"""Static semantic checks for SAC programs.
+
+A lightweight front-end pass (the dynamic interpreter re-checks
+everything at run time; this catches mistakes before any evaluation):
+
+* references to undefined variables (flow-sensitive through blocks,
+  branches and loops; a variable assigned in only one branch of an
+  ``if`` counts as *maybe*-defined afterwards and is accepted, matching
+  the interpreter's late binding),
+* calls to unknown functions, and calls for which no overload has a
+  compatible *arity*,
+* duplicate parameter names and duplicate identical signatures,
+* functions whose body can fall off the end without ``return``
+  (conservative: every path must end in a return for non-void),
+* ``.`` bounds used outside a WITH-loop generator,
+* fold operations naming unknown functions.
+
+Errors are collected (not raised one at a time) so a whole module's
+problems surface together; :func:`check_program` raises a
+:class:`~repro.sac.errors.SacTypeError` carrying the full list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ast_nodes import (
+    Assign,
+    DoWhile,
+    BinOp,
+    Block,
+    Call,
+    Dot,
+    Expr,
+    ExprStmt,
+    FoldOp,
+    For,
+    FunDef,
+    GenarrayOp,
+    Generator,
+    If,
+    ModarrayOp,
+    Program,
+    Return,
+    Select,
+    Stmt,
+    UnOp,
+    Var,
+    VectorLit,
+    While,
+    WithLoop,
+)
+from .builtins import is_builtin
+from .errors import SacTypeError, SourcePos
+from .sactypes import BaseType
+
+__all__ = ["Diagnostic", "check_program", "collect_diagnostics"]
+
+_OPERATOR_FOLDS = {"+", "*"}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static error with its position."""
+
+    message: str
+    pos: SourcePos | None = None
+
+    def __str__(self) -> str:
+        return f"{self.pos}: {self.message}" if self.pos else self.message
+
+
+class _Checker:
+    def __init__(self, program: Program):
+        self.diags: list[Diagnostic] = []
+        self.arities: dict[str, set[int]] = {}
+        for f in program.functions:
+            self.arities.setdefault(f.name, set()).add(f.arity)
+        self._check_duplicate_signatures(program)
+
+    # -- module level -------------------------------------------------------
+
+    def _check_duplicate_signatures(self, program: Program) -> None:
+        seen: dict[tuple, FunDef] = {}
+        for f in program.functions:
+            key = (f.name, tuple(str(p.type) for p in f.params))
+            if key in seen:
+                self.error(
+                    f"duplicate definition of {f.name}"
+                    f"({', '.join(str(p.type) for p in f.params)})",
+                    f.pos,
+                )
+            seen[key] = f
+
+    def error(self, message: str, pos: SourcePos | None) -> None:
+        self.diags.append(Diagnostic(message, pos))
+
+    # -- functions ----------------------------------------------------------
+
+    def check_function(self, fun: FunDef) -> None:
+        names = [p.name for p in fun.params]
+        for name in set(names):
+            if names.count(name) > 1:
+                self.error(
+                    f"duplicate parameter {name!r} in {fun.name!r}", fun.pos
+                )
+        defined = set(names)
+        self.check_block(fun.body, defined)
+        if fun.return_type.base is not BaseType.VOID and \
+                not self._always_returns(fun.body):
+            self.error(
+                f"function {fun.name!r} may finish without returning a value",
+                fun.pos,
+            )
+
+    def _always_returns(self, block: Block) -> bool:
+        for stmt in block.statements:
+            if isinstance(stmt, Return):
+                return True
+            if isinstance(stmt, If) and stmt.orelse is not None:
+                if self._always_returns(stmt.then) and \
+                        self._always_returns(stmt.orelse):
+                    return True
+        return False
+
+    # -- statements ----------------------------------------------------------
+
+    def check_block(self, block: Block, defined: set[str]) -> None:
+        for stmt in block.statements:
+            self.check_stmt(stmt, defined)
+
+    def check_stmt(self, stmt: Stmt, defined: set[str]) -> None:
+        if isinstance(stmt, Assign):
+            self.check_expr(stmt.value, defined)
+            defined.add(stmt.target)
+        elif isinstance(stmt, Return):
+            self.check_expr(stmt.value, defined)
+        elif isinstance(stmt, ExprStmt):
+            self.check_expr(stmt.expr, defined)
+        elif isinstance(stmt, Block):
+            self.check_block(stmt, defined)
+        elif isinstance(stmt, If):
+            self.check_expr(stmt.cond, defined)
+            then_defs = set(defined)
+            self.check_block(stmt.then, then_defs)
+            else_defs = set(defined)
+            if stmt.orelse is not None:
+                self.check_block(stmt.orelse, else_defs)
+            # Names assigned on *any* path are visible afterwards (the
+            # interpreter binds late; using a maybe-unassigned name is a
+            # runtime error on the path that skipped it).
+            defined |= then_defs | else_defs
+        elif isinstance(stmt, For):
+            self.check_stmt(stmt.init, defined)
+            self.check_expr(stmt.cond, defined)
+            body_defs = set(defined)
+            self.check_block(stmt.body, body_defs)
+            self.check_stmt(stmt.update, body_defs)
+            defined |= body_defs
+        elif isinstance(stmt, While):
+            self.check_expr(stmt.cond, defined)
+            body_defs = set(defined)
+            self.check_block(stmt.body, body_defs)
+            defined |= body_defs
+        elif isinstance(stmt, DoWhile):
+            # The body runs at least once: its definitions are definite.
+            self.check_block(stmt.body, defined)
+            self.check_expr(stmt.cond, defined)
+        else:  # pragma: no cover - parser produces no other statements
+            self.error(f"unknown statement {type(stmt).__name__}",
+                       getattr(stmt, "pos", None))
+
+    # -- expressions -----------------------------------------------------------
+
+    def check_expr(self, expr: Expr, defined: set[str]) -> None:
+        if isinstance(expr, Var):
+            if expr.name not in defined:
+                self.error(f"undefined variable {expr.name!r}", expr.pos)
+        elif isinstance(expr, Dot):
+            self.error("'.' is only legal as a generator bound", expr.pos)
+        elif isinstance(expr, VectorLit):
+            for e in expr.elements:
+                self.check_expr(e, defined)
+        elif isinstance(expr, (BinOp,)):
+            self.check_expr(expr.left, defined)
+            self.check_expr(expr.right, defined)
+        elif isinstance(expr, UnOp):
+            self.check_expr(expr.operand, defined)
+        elif isinstance(expr, Select):
+            self.check_expr(expr.array, defined)
+            self.check_expr(expr.index, defined)
+        elif isinstance(expr, Call):
+            self.check_call(expr, defined)
+        elif isinstance(expr, WithLoop):
+            self.check_withloop(expr, defined)
+        # literals: nothing to do
+
+    def check_call(self, call: Call, defined: set[str]) -> None:
+        for a in call.args:
+            self.check_expr(a, defined)
+        arities = self.arities.get(call.name)
+        if arities is None:
+            if not is_builtin(call.name):
+                self.error(f"call to undefined function {call.name!r}",
+                           call.pos)
+            return
+        if len(call.args) not in arities and not is_builtin(call.name):
+            self.error(
+                f"no overload of {call.name!r} takes {len(call.args)} "
+                f"argument(s); defined arities: {sorted(arities)}",
+                call.pos,
+            )
+
+    def check_withloop(self, wl: WithLoop, defined: set[str]) -> None:
+        gen = wl.generator
+        frame = isinstance(wl.operation, (GenarrayOp, ModarrayOp))
+        for bound in (gen.lower, gen.upper):
+            if isinstance(bound, Dot):
+                if not frame:
+                    self.error(
+                        "'.' bound requires a genarray/modarray frame",
+                        bound.pos or wl.pos,
+                    )
+            else:
+                self.check_expr(bound, defined)
+        for extra in (gen.step, gen.width):
+            if extra is not None:
+                self.check_expr(extra, defined)
+        inner = set(defined)
+        inner.add(gen.var)
+        op = wl.operation
+        if isinstance(op, GenarrayOp):
+            self.check_expr(op.shape, defined)
+            self.check_expr(op.body, inner)
+        elif isinstance(op, ModarrayOp):
+            self.check_expr(op.array, defined)
+            self.check_expr(op.body, inner)
+        elif isinstance(op, FoldOp):
+            self.check_expr(op.neutral, defined)
+            self.check_expr(op.body, inner)
+            if (
+                op.fun not in _OPERATOR_FOLDS
+                and op.fun not in self.arities
+                and not is_builtin(op.fun)
+            ):
+                self.error(f"fold names undefined function {op.fun!r}",
+                           op.pos or wl.pos)
+
+
+def collect_diagnostics(program: Program) -> list[Diagnostic]:
+    """Run all checks; return the (possibly empty) diagnostic list."""
+    checker = _Checker(program)
+    for fun in program.functions:
+        checker.check_function(fun)
+    return checker.diags
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`SacTypeError` listing every static error."""
+    diags = collect_diagnostics(program)
+    if diags:
+        listing = "\n".join(f"  {d}" for d in diags)
+        err = SacTypeError(
+            f"{len(diags)} static error(s):\n{listing}", diags[0].pos
+        )
+        err.diagnostics = diags  # type: ignore[attr-defined]
+        raise err

@@ -1,0 +1,361 @@
+"""WITH-loop evaluation.
+
+Two execution strategies, tried in order:
+
+1. **Vectorized (abstract) evaluation** — bind the index variable to an
+   affine :class:`~repro.sac.values.IndexView` spanning the whole index
+   space and evaluate the body once; selections against it become NumPy
+   slices/gathers, arithmetic becomes whole-array arithmetic.  This is
+   the moral equivalent of what the SAC compiler's WITH-loop code
+   generation achieves and is what makes the interpreted MG benchmark
+   run at NumPy speed.
+2. **Scalar loop** — the defining semantics: iterate every index vector
+   of the generator and evaluate the body per point.  Used when the body
+   leaves the abstract domain (data-dependent control flow, non-affine
+   indexing, ``width`` filters) and as the reference implementation in
+   tests.
+
+The strategy can be forced via ``interp.options.vectorize``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .ast_nodes import Dot, FoldOp, GenarrayOp, Generator, ModarrayOp, WithLoop
+from .builtins import FOLD_UFUNCS
+from .errors import SacRuntimeError, SacTypeError
+from .values import (
+    AbstractUnsupported,
+    AffineAxis,
+    IndexView,
+    SpaceValue,
+    as_index_vector,
+    coerce_value,
+    is_int_vector,
+)
+
+__all__ = ["eval_withloop", "IndexSpace"]
+
+
+@dataclass(frozen=True)
+class IndexSpace:
+    """Resolved generator: per-axis start/step/count plus width."""
+
+    lower: tuple[int, ...]
+    step: tuple[int, ...]
+    count: tuple[int, ...]
+    width: tuple[int, ...]
+
+    @property
+    def rank(self) -> int:
+        return len(self.lower)
+
+    @property
+    def is_affine(self) -> bool:
+        return all(w == 1 for w in self.width)
+
+    @property
+    def is_empty(self) -> bool:
+        return any(c == 0 for c in self.count)
+
+    def axes(self) -> tuple[AffineAxis, ...]:
+        if not self.is_affine:
+            raise AbstractUnsupported("width filters are not affine")
+        return tuple(
+            AffineAxis(lo, st, ct)
+            for lo, st, ct in zip(self.lower, self.step, self.count)
+        )
+
+    def positions(self, axis: int) -> list[int]:
+        """All selected positions along one axis (width-aware)."""
+        out = []
+        lo, st, ct, w = (
+            self.lower[axis],
+            self.step[axis],
+            self.count[axis],
+            self.width[axis],
+        )
+        for k in range(ct):
+            base = lo + k * st
+            out.extend(base + off for off in range(w))
+        return out
+
+    def iter_indices(self):
+        """Iterate all index vectors (as tuples) in row-major order."""
+        return itertools.product(*(self.positions(ax) for ax in range(self.rank)))
+
+
+def _resolve_bound(interp, env, expr, inclusive: bool, is_upper: bool,
+                   frame_shape: tuple[int, ...] | None, rank_hint: int | None):
+    """Evaluate one generator bound to an exclusive-lower/exclusive-upper
+    pair component; returns the int vector (lower inclusive, upper
+    exclusive convention applied by the caller)."""
+    if isinstance(expr, Dot):
+        if frame_shape is None:
+            raise SacRuntimeError(
+                "'.' generator bounds need a genarray/modarray frame"
+            )
+        if is_upper:
+            vec = np.asarray(frame_shape, dtype=np.int64) - 1  # largest legal
+        else:
+            vec = np.zeros(len(frame_shape), dtype=np.int64)   # smallest legal
+        return vec
+    val = coerce_value(interp.eval_expr(expr, env))
+    return as_index_vector(val, rank_hint)
+
+
+def _resolve_space(interp, env, gen: Generator,
+                   frame_shape: tuple[int, ...] | None) -> IndexSpace:
+    rank_hint = len(frame_shape) if frame_shape is not None else None
+    # Vector bounds may establish the rank when there is no frame.
+    if rank_hint is None:
+        for bexpr in (gen.lower, gen.upper):
+            if not isinstance(bexpr, Dot):
+                v = coerce_value(interp.eval_expr(bexpr, env))
+                if is_int_vector(v):
+                    rank_hint = int(v.shape[0])
+                    break
+    lo = _resolve_bound(interp, env, gen.lower, gen.lower_inclusive, False,
+                        frame_shape, rank_hint)
+    hi = _resolve_bound(interp, env, gen.upper, gen.upper_inclusive, True,
+                        frame_shape, rank_hint or len(lo))
+    if len(lo) != len(hi):
+        raise SacTypeError(
+            f"generator bounds have different lengths {len(lo)} and {len(hi)}"
+        )
+    if not gen.lower_inclusive:
+        lo = lo + 1
+    if gen.upper_inclusive:
+        hi = hi + 1
+    rank = len(lo)
+
+    if gen.step is not None:
+        step = as_index_vector(coerce_value(interp.eval_expr(gen.step, env)), rank)
+        if np.any(step <= 0):
+            raise SacRuntimeError("generator step must be positive")
+    else:
+        step = np.ones(rank, dtype=np.int64)
+    if gen.width is not None:
+        width = as_index_vector(coerce_value(interp.eval_expr(gen.width, env)), rank)
+        if np.any(width <= 0) or np.any(width > step):
+            raise SacRuntimeError("generator width must be in 1..step")
+    else:
+        width = np.ones(rank, dtype=np.int64)
+
+    span = hi - lo
+    count = np.where(span > 0, -(-span // step), 0)  # ceil division
+    # With width > 1 the last block may be cut short; positions() handles
+    # exact membership, count tracks full/partial blocks.
+    return IndexSpace(
+        tuple(int(x) for x in lo),
+        tuple(int(x) for x in step),
+        tuple(int(x) for x in count),
+        tuple(int(x) for x in width),
+    )
+
+
+def _check_region(space: IndexSpace, shape: tuple[int, ...]) -> None:
+    if space.rank != len(shape):
+        raise SacTypeError(
+            f"generator rank {space.rank} does not match frame rank {len(shape)}"
+        )
+    for ax in range(space.rank):
+        if space.count[ax] == 0:
+            continue
+        positions = (space.lower[ax],
+                     space.lower[ax] + (space.count[ax] - 1) * space.step[ax]
+                     + space.width[ax] - 1)
+        if positions[0] < 0 or positions[1] >= shape[ax]:
+            raise SacRuntimeError(
+                f"generator range {positions} exceeds frame extent "
+                f"{shape[ax]} on axis {ax}"
+            )
+
+
+def _space_result_to_array(value, space: IndexSpace):
+    """Normalize an abstract body result to (data, cell_shape)."""
+    if isinstance(value, IndexView):
+        value = value.materialize()
+    if isinstance(value, SpaceValue):
+        if value.space_dims != space.count:
+            raise AbstractUnsupported("body result space mismatch")
+        return value.data, value.cell_shape
+    # Constant across the space.
+    cell = np.asarray(value)
+    data = np.broadcast_to(cell, space.count + cell.shape)
+    return data, cell.shape
+
+
+def _dtype_for(value) -> np.dtype:
+    if isinstance(value, bool):
+        return np.dtype(np.bool_)
+    if isinstance(value, int):
+        return np.dtype(np.int64)
+    if isinstance(value, float):
+        return np.dtype(np.float64)
+    return np.asarray(value).dtype
+
+
+# ---------------------------------------------------------------------------
+# Vectorized path.
+# ---------------------------------------------------------------------------
+
+def _eval_vectorized(interp, env, wl: WithLoop, space: IndexSpace,
+                     shp: tuple[int, ...] | None):
+    iv = IndexView(space.axes())
+    body_env = env.child({wl.generator.var: iv})
+    op = wl.operation
+
+    if isinstance(op, FoldOp):
+        neutral = coerce_value(interp.eval_expr(op.neutral, env))
+        if space.is_empty:
+            return neutral
+        value = interp.eval_expr(op.body, body_env)
+        data, cell = _space_result_to_array(value, space)
+        ufunc = FOLD_UFUNCS.get(op.fun)
+        if ufunc is not None:
+            reduced = ufunc.reduce(
+                data.reshape((-1,) + cell) if cell else data.reshape(-1), axis=0
+            )
+            return coerce_value(ufunc(neutral, reduced))
+        return _tree_fold(interp, op.fun, neutral, data, cell)
+
+    # genarray / modarray produce an array.
+    if isinstance(op, GenarrayOp):
+        if space.is_empty:
+            # Shape is known; element type defaults to the body's type
+            # evaluated nowhere — use double (SAC's default element 0.0
+            # has the body's type; with an empty region we cannot know it
+            # without type inference, so pick the common case).
+            return np.zeros(shp, dtype=np.float64)
+        value = interp.eval_expr(op.body, body_env)
+        data, cell = _space_result_to_array(value, space)
+        out = np.zeros(tuple(shp) + cell, dtype=_dtype_for(data))
+    else:
+        base = interp.eval_expr(op.array, env)
+        if not isinstance(base, np.ndarray):
+            raise SacTypeError("modarray frame must be an array")
+        if space.is_empty:
+            return base.copy()
+        value = interp.eval_expr(op.body, body_env)
+        data, cell = _space_result_to_array(value, space)
+        if cell != base.shape[space.rank:]:
+            raise SacTypeError(
+                f"modarray cell shape {cell} does not match frame "
+                f"{base.shape[space.rank:]}"
+            )
+        out = base.astype(np.promote_types(base.dtype, _dtype_for(data)), copy=True)
+
+    region = tuple(ax.as_slice(ext) for ax, ext in zip(space.axes(), out.shape))
+    out[region] = data
+    return out
+
+
+def _tree_fold(interp, fun: str, neutral, data: np.ndarray, cell):
+    """Pairwise reduction through a user-defined fold function.
+
+    The fold function is required to be associative and commutative (SAC
+    semantics), so halving reduction is legal; it is applied to whole
+    arrays, which works whenever the function body is elementwise.
+    """
+    flat = data.reshape((-1,) + cell)
+    values = flat
+    try:
+        while values.shape[0] > 1:
+            k = values.shape[0] // 2
+            left = values[:k]
+            right = values[k : 2 * k]
+            merged = interp.apply_named(fun, [left, right])
+            if values.shape[0] % 2:
+                values = np.concatenate(
+                    [np.asarray(merged).reshape((k,) + cell), values[-1:]], axis=0
+                )
+            else:
+                values = np.asarray(merged).reshape((k,) + cell)
+        scalar = values[0] if cell else coerce_value(values[0])
+        return interp.apply_named(fun, [neutral, scalar])
+    except Exception as exc:  # noqa: BLE001 - any failure => scalar fallback
+        raise AbstractUnsupported(f"tree fold failed: {exc}") from exc
+
+
+# ---------------------------------------------------------------------------
+# Scalar (reference) path.
+# ---------------------------------------------------------------------------
+
+def _eval_scalar(interp, env, wl: WithLoop, space: IndexSpace,
+                 shp: tuple[int, ...] | None):
+    op = wl.operation
+    var = wl.generator.var
+
+    if isinstance(op, FoldOp):
+        acc = coerce_value(interp.eval_expr(op.neutral, env))
+        for idx in space.iter_indices():
+            iv = np.asarray(idx, dtype=np.int64)
+            val = coerce_value(interp.eval_expr(op.body, env.child({var: iv})))
+            acc = interp.apply_named(op.fun, [acc, val])
+        return acc
+
+    if isinstance(op, GenarrayOp):
+        out = None
+        for idx in space.iter_indices():
+            iv = np.asarray(idx, dtype=np.int64)
+            val = coerce_value(interp.eval_expr(op.body, env.child({var: iv})))
+            if out is None:
+                cell = np.asarray(val)
+                out = np.zeros(tuple(shp) + cell.shape, dtype=_dtype_for(val))
+            elif not np.can_cast(_dtype_for(val), out.dtype):
+                out = out.astype(np.promote_types(out.dtype, _dtype_for(val)))
+            out[idx] = val
+        if out is None:  # empty region
+            out = np.zeros(tuple(shp), dtype=np.float64)
+        return out
+
+    base = interp.eval_expr(op.array, env)
+    if not isinstance(base, np.ndarray):
+        raise SacTypeError("modarray frame must be an array")
+    out = base.copy()
+    for idx in space.iter_indices():
+        iv = np.asarray(idx, dtype=np.int64)
+        val = coerce_value(interp.eval_expr(op.body, env.child({var: iv})))
+        out[idx] = val
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Entry point.
+# ---------------------------------------------------------------------------
+
+def eval_withloop(interp, env, wl: WithLoop):
+    """Evaluate a WITH-loop expression in ``env``."""
+    op = wl.operation
+    shp: tuple[int, ...] | None = None
+    frame_shape: tuple[int, ...] | None = None
+
+    if isinstance(op, GenarrayOp):
+        shp_val = coerce_value(interp.eval_expr(op.shape, env))
+        shp_vec = as_index_vector(shp_val, None if is_int_vector(shp_val) else 1)
+        if np.any(shp_vec < 0):
+            raise SacRuntimeError("genarray shape must be non-negative")
+        shp = tuple(int(x) for x in shp_vec)
+        frame_shape = shp
+    elif isinstance(op, ModarrayOp):
+        base = interp.eval_expr(op.array, env)
+        if not isinstance(base, np.ndarray):
+            raise SacTypeError("modarray frame must be an array")
+        frame_shape = base.shape
+
+    space = _resolve_space(interp, env, wl.generator, frame_shape)
+    if frame_shape is not None:
+        # The generator may cover a lower-rank prefix (non-scalar cells).
+        _check_region(space, frame_shape[: space.rank])
+
+    if interp.options.vectorize and space.is_affine:
+        try:
+            return _eval_vectorized(interp, env, wl, space, shp)
+        except AbstractUnsupported:
+            pass
+    return _eval_scalar(interp, env, wl, space, shp)

@@ -1,0 +1,191 @@
+"""Tests for the Fig. 10 array library (NumPy transcription).
+
+These are the algebraic identities the paper's program relies on, checked
+dimension-invariantly (the library works for any rank, like the SAC code).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.sac_style_mg import (
+    condense,
+    embed,
+    genarray,
+    relax_kernel,
+    scatter,
+    setup_periodic_border,
+    take,
+)
+
+small_arrays = arrays(
+    np.float64,
+    st.lists(st.integers(1, 6), min_size=1, max_size=3).map(tuple),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestGenarray:
+    def test_shape_and_value(self):
+        a = genarray((2, 3), 7.5)
+        assert a.shape == (2, 3)
+        assert (a == 7.5).all()
+
+    def test_any_rank(self):
+        assert genarray((4,), 0.0).ndim == 1
+        assert genarray((2, 2, 2, 2), 1.0).ndim == 4
+
+
+class TestCondenseScatter:
+    @given(small_arrays, st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_condense_of_scatter_is_identity(self, a, stride):
+        np.testing.assert_array_equal(condense(stride, scatter(stride, a)), a)
+
+    def test_condense_shape(self):
+        a = np.arange(10.0)
+        assert condense(2, a).shape == (5,)
+        assert condense(3, a).shape == (3,)
+
+    def test_condense_values(self):
+        a = np.arange(8.0)
+        np.testing.assert_array_equal(condense(2, a), [0, 2, 4, 6])
+
+    def test_scatter_zero_fills(self):
+        a = np.array([1.0, 2.0])
+        np.testing.assert_array_equal(scatter(2, a), [1.0, 0.0, 2.0, 0.0])
+
+    def test_scatter_multidim(self):
+        a = np.ones((2, 2))
+        s = scatter(2, a)
+        assert s.shape == (4, 4)
+        assert s.sum() == 4.0
+        np.testing.assert_array_equal(s[::2, ::2], a)
+
+    def test_stride_one_is_copy(self):
+        a = np.arange(5.0)
+        c = condense(1, a)
+        np.testing.assert_array_equal(c, a)
+        c[0] = 99
+        assert a[0] == 0.0  # value semantics: result is a fresh array
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            condense(0, np.arange(4.0))
+        with pytest.raises(ValueError):
+            scatter(0, np.arange(4.0))
+
+
+class TestEmbedTake:
+    def test_embed_places_at_offset(self):
+        a = np.array([1.0, 2.0])
+        e = embed((5,), (2,), a)
+        np.testing.assert_array_equal(e, [0, 0, 1, 2, 0])
+
+    def test_take_leading(self):
+        a = np.arange(6.0)
+        np.testing.assert_array_equal(take((4,), a), [0, 1, 2, 3])
+
+    @given(small_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_take_of_embed_roundtrip(self, a):
+        # embed at the origin then take the original extent: identity.
+        bigger = tuple(s + 2 for s in a.shape)
+        e = embed(bigger, (0,) * a.ndim, a)
+        np.testing.assert_array_equal(take(a.shape, e), a)
+
+    def test_embed_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            embed((3,), (2,), np.arange(2.0))
+
+    def test_take_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            take((7,), np.arange(4.0))
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            embed((3, 3), (0,), np.arange(2.0))
+        with pytest.raises(ValueError):
+            take((2, 2), np.arange(4.0))
+
+    def test_fine2coarse_shape_algebra(self):
+        # The paper's Fig. 8 sequence: condense leaves the array one
+        # element short; embed restores the extended-grid extent.
+        fine = np.zeros((10, 10, 10))  # extended 8^3
+        rc = condense(2, fine)
+        assert rc.shape == (5, 5, 5)
+        rn = embed(tuple(s + 1 for s in rc.shape), (0, 0, 0), rc)
+        assert rn.shape == (6, 6, 6)  # extended 4^3
+
+
+class TestSetupPeriodicBorder:
+    def test_vector_case_from_fig5(self):
+        # Fig. 5: each original boundary element is replicated on the
+        # opposite side.
+        a = np.array([0.0, 1.0, 2.0, 3.0, 4.0, 0.0])
+        out = setup_periodic_border(a)
+        np.testing.assert_array_equal(out, [4.0, 1.0, 2.0, 3.0, 4.0, 1.0])
+
+    def test_pure(self):
+        a = np.zeros((4, 4))
+        a[1:-1, 1:-1] = 1.0
+        before = a.copy()
+        setup_periodic_border(a)
+        np.testing.assert_array_equal(a, before)
+
+    def test_matches_comm3_in_3d(self):
+        from repro.core.grid import comm3
+
+        rng = np.random.default_rng(0)
+        a = np.zeros((6, 6, 6))
+        a[1:-1, 1:-1, 1:-1] = rng.standard_normal((4, 4, 4))
+        np.testing.assert_array_equal(setup_periodic_border(a), comm3(a.copy()))
+
+    @given(st.integers(2, 6), st.integers(1, 3), st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent_any_rank(self, m, ndim, seed):
+        rng = np.random.default_rng(seed)
+        a = np.zeros((m + 2,) * ndim)
+        a[(slice(1, -1),) * ndim] = rng.standard_normal((m,) * ndim)
+        once = setup_periodic_border(a)
+        np.testing.assert_array_equal(setup_periodic_border(once), once)
+
+
+class TestRelaxKernel:
+    def test_borders_preserved(self):
+        a = np.arange(36.0).reshape(6, 6)
+        out = relax_kernel(a, (1.0, 0.0, 0.0))
+        np.testing.assert_array_equal(out[0], a[0])
+        np.testing.assert_array_equal(out[:, -1], a[:, -1])
+
+    def test_identity_stencil(self):
+        a = np.random.default_rng(1).standard_normal((6, 6))
+        out = relax_kernel(a, (1.0, 0.0, 0.0))
+        np.testing.assert_array_equal(out, a)
+
+    def test_matches_naive_3d(self):
+        from repro.core.grid import comm3, make_grid
+        from repro.core.stencils import S_COEFFS_A, relax_naive
+
+        rng = np.random.default_rng(2)
+        u = make_grid(6)
+        u[1:-1, 1:-1, 1:-1] = rng.standard_normal((6, 6, 6))
+        comm3(u)
+        ours = relax_kernel(u, S_COEFFS_A)
+        ref = relax_naive(u, S_COEFFS_A)
+        np.testing.assert_allclose(
+            ours[1:-1, 1:-1, 1:-1], ref[1:-1, 1:-1, 1:-1],
+            rtol=1e-13, atol=1e-14,
+        )
+
+    def test_rank_coefficient_check(self):
+        with pytest.raises(ValueError):
+            relax_kernel(np.zeros((4, 4, 4)), (1.0, 0.5))
+
+    def test_1d_three_point(self):
+        a = np.array([0.0, 1.0, 2.0, 3.0, 0.0])
+        out = relax_kernel(a, (0.0, 1.0))
+        # inner: sum of the two neighbours.
+        np.testing.assert_array_equal(out[1:-1], [2.0, 4.0, 2.0])

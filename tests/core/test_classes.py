@@ -1,0 +1,43 @@
+"""Tests for the size-class table."""
+
+import pytest
+
+from repro.core.classes import CLASSES, get_class
+
+
+class TestClasses:
+    def test_paper_classes_present(self):
+        # The paper evaluates W (64^3 x 40) and A (256^3 x 4).
+        w = get_class("W")
+        assert (w.nx, w.nit) == (64, 40)
+        a = get_class("A")
+        assert (a.nx, a.nit) == (256, 4)
+
+    def test_lt_levels(self):
+        assert get_class("S").lt == 5
+        assert get_class("W").lt == 6
+        assert get_class("A").lt == 8
+
+    def test_shape_includes_ghosts(self):
+        assert get_class("S").shape == (34, 34, 34)
+
+    def test_interior_points(self):
+        assert get_class("W").interior_points == 64 ** 3
+
+    def test_case_insensitive_lookup(self):
+        assert get_class("w") is get_class("W")
+
+    def test_unknown_class(self):
+        with pytest.raises(KeyError):
+            get_class("Z")
+
+    def test_smoother_selection(self):
+        for name in ("S", "W", "A"):
+            assert CLASSES[name].smoother == "a"
+        for name in ("B", "C"):
+            assert CLASSES[name].smoother == "b"
+
+    def test_official_values_recorded(self):
+        for name in ("S", "W", "A", "B", "C"):
+            assert CLASSES[name].verify_value is not None
+        assert CLASSES["T"].verify_value is None

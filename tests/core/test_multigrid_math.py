@@ -1,0 +1,122 @@
+"""Mathematical properties of the multigrid operators.
+
+These go beyond implementation equivalence: they pin the *numerical
+analysis* facts that make the V-cycle work, so a kernel change that kept
+the code self-consistent but broke the math would still be caught.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    A_COEFFS,
+    S_COEFFS_A,
+    comm3,
+    interp_add,
+    make_grid,
+    mg3P,
+    norm2u3,
+    relax_naive,
+    resid,
+    rprj3,
+    zran3,
+)
+
+
+def _random_periodic(m, seed=0):
+    rng = np.random.default_rng(seed)
+    u = make_grid(m)
+    u[1:-1, 1:-1, 1:-1] = rng.standard_normal((m, m, m))
+    return comm3(u)
+
+
+def _inner(a, b):
+    return float(np.sum(a[1:-1, 1:-1, 1:-1] * b[1:-1, 1:-1, 1:-1]))
+
+
+class TestOperatorStructure:
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=15, deadline=None)
+    def test_poisson_operator_symmetric(self, seed):
+        """<A u, v> == <u, A v> on the periodic torus."""
+        u = _random_periodic(8, seed)
+        v = _random_periodic(8, seed + 1)
+        au = comm3(relax_naive(u, A_COEFFS))
+        av = comm3(relax_naive(v, A_COEFFS))
+        assert _inner(au, v) == pytest.approx(_inner(u, av), rel=1e-10)
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=15, deadline=None)
+    def test_restriction_is_half_adjoint_of_interpolation(self, seed):
+        """NPB's full weighting P relates to trilinear interpolation Q by
+        <P r, z>_coarse = 1/2 <r, Q z>_fine — the P coefficients are
+        exactly half the Q coefficients."""
+        r = _random_periodic(8, seed)
+        z = _random_periodic(4, seed + 1)
+        pr = rprj3(r)
+        qz = make_grid(8)
+        interp_add(z, qz)
+        assert _inner(pr, z) == pytest.approx(0.5 * _inner(r, qz), rel=1e-10)
+
+    def test_operator_annihilates_constants_and_preserves_mean_zero(self):
+        # A has zero row sum; residual of the zero-mean RHS stays zero-mean.
+        v = zran3(16)
+        u = make_grid(16)
+        r = resid(u, v)
+        assert abs(r[1:-1, 1:-1, 1:-1].sum()) < 1e-10
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=10, deadline=None)
+    def test_vcycle_linear_in_rhs(self, seed):
+        """One V-cycle from a zero guess is a linear operator in v."""
+        rng = np.random.default_rng(seed)
+
+        def cycle(v):
+            u = make_grid(8)
+            r = {3: resid(u, v)}
+            mg3P(u, v, r, A_COEFFS, S_COEFFS_A, lt=3)
+            return u
+
+        v1 = _random_periodic(8, seed)
+        v2 = _random_periodic(8, seed + 7)
+        alpha = float(rng.uniform(-2, 2))
+        combo = comm3(v1 + alpha * v2)
+        lhs = cycle(combo)
+        rhs = cycle(v1) + alpha * cycle(v2)
+        np.testing.assert_allclose(
+            lhs[1:-1, 1:-1, 1:-1], rhs[1:-1, 1:-1, 1:-1],
+            rtol=1e-9, atol=1e-11,
+        )
+
+
+class TestConvergence:
+    def test_contraction_factor_roughly_constant(self):
+        """The per-cycle residual reduction factor stays in a narrow band
+        (V-cycle converges linearly)."""
+        v = zran3(32)
+        u = make_grid(32)
+        r = {5: resid(u, v)}
+        norms = [norm2u3(r[5])[0]]
+        for _ in range(5):
+            mg3P(u, v, r, A_COEFFS, S_COEFFS_A, lt=5)
+            r[5] = resid(u, v)
+            norms.append(norm2u3(r[5])[0])
+        factors = [a / b for a, b in zip(norms, norms[1:])]
+        assert all(f > 2.0 for f in factors), factors
+        # Stable rate: max and min within a factor ~3 of each other.
+        assert max(factors) / min(factors) < 3.0, factors
+
+    def test_solution_actually_solves(self):
+        """After convergence, A u ~ v pointwise, not just in norm."""
+        v = zran3(16)
+        u = make_grid(16)
+        r = {4: resid(u, v)}
+        for _ in range(30):
+            mg3P(u, v, r, A_COEFFS, S_COEFFS_A, lt=4)
+            r[4] = resid(u, v)
+        au = comm3(relax_naive(u, A_COEFFS))
+        np.testing.assert_allclose(
+            au[1:-1, 1:-1, 1:-1], v[1:-1, 1:-1, 1:-1], atol=1e-11
+        )

@@ -1,0 +1,55 @@
+"""Tests for norm2u3."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grid import make_grid
+from repro.core.norms import norm2u3
+
+
+class TestNorm2u3:
+    def test_zero_grid(self):
+        assert norm2u3(make_grid(4)) == (0.0, 0.0)
+
+    def test_single_spike(self):
+        u = make_grid(4)
+        u[2, 2, 2] = -3.0
+        rnm2, rnmu = norm2u3(u)
+        assert rnmu == 3.0
+        assert math.isclose(rnm2, math.sqrt(9.0 / 64.0))
+
+    def test_ghosts_ignored(self):
+        u = make_grid(4)
+        u[0, :, :] = 100.0
+        assert norm2u3(u) == (0.0, 0.0)
+
+    def test_constant_grid(self):
+        u = make_grid(8)
+        u[1:-1, 1:-1, 1:-1] = 2.0
+        rnm2, rnmu = norm2u3(u)
+        assert math.isclose(rnm2, 2.0)
+        assert rnmu == 2.0
+
+    @given(st.integers(0, 2 ** 31))
+    @settings(max_examples=20, deadline=None)
+    def test_matches_numpy_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        u = make_grid(6)
+        u[1:-1, 1:-1, 1:-1] = rng.standard_normal((6, 6, 6))
+        rnm2, rnmu = norm2u3(u)
+        ref2 = float(np.sqrt(np.mean(u[1:-1, 1:-1, 1:-1] ** 2)))
+        refu = float(np.abs(u[1:-1, 1:-1, 1:-1]).max())
+        assert math.isclose(rnm2, ref2, rel_tol=1e-12)
+        assert rnmu == refu
+
+    def test_scale_equivariance(self):
+        rng = np.random.default_rng(5)
+        u = make_grid(4)
+        u[1:-1, 1:-1, 1:-1] = rng.standard_normal((4, 4, 4))
+        r1, m1 = norm2u3(u)
+        r2, m2 = norm2u3(2.0 * u)
+        assert math.isclose(r2, 2 * r1, rel_tol=1e-12)
+        assert math.isclose(m2, 2 * m1, rel_tol=1e-12)

@@ -1,0 +1,135 @@
+"""Tests for the NPB pseudo-random generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.randlc import (
+    A_DEFAULT,
+    MOD46,
+    R46,
+    SEED_DEFAULT,
+    RandlcState,
+    jump_state,
+    power_mod,
+    randlc,
+    vranlc,
+)
+
+# First values of the NPB MG stream (seed 314159265, a = 5**13), computed
+# with exact integer arithmetic: x1 = a*x0 mod 2**46, r1 = x1 * 2**-46.
+_X0 = SEED_DEFAULT
+_X1 = (_X0 * A_DEFAULT) % MOD46
+
+
+class TestScalar:
+    def test_first_value_exact(self):
+        st_ = RandlcState()
+        assert st_.next() == _X1 * R46
+
+    def test_state_advances(self):
+        st_ = RandlcState()
+        st_.next()
+        assert st_.x == _X1
+
+    def test_values_in_unit_interval(self):
+        st_ = RandlcState()
+        for _ in range(1000):
+            v = st_.next()
+            assert 0.0 < v < 1.0
+
+    def test_randlc_function_matches_method(self):
+        s1, s2 = RandlcState(), RandlcState()
+        assert randlc(s1) == s2.next()
+
+    def test_deterministic(self):
+        a = [RandlcState().next() for _ in range(3)]
+        assert a[0] == a[1] == a[2]
+
+    def test_clone_independent(self):
+        s = RandlcState()
+        c = s.clone()
+        s.next()
+        assert c.x == SEED_DEFAULT
+
+    def test_skip_equals_stepping(self):
+        s1, s2 = RandlcState(), RandlcState()
+        for _ in range(137):
+            s1.next()
+        s2.skip(137)
+        assert s1.x == s2.x
+
+    def test_skip_zero_is_identity(self):
+        s = RandlcState()
+        s.skip(0)
+        assert s.x == SEED_DEFAULT
+
+
+class TestPower:
+    def test_power_mod_zero(self):
+        assert power_mod(A_DEFAULT, 0) == 1
+
+    def test_power_mod_one(self):
+        assert power_mod(A_DEFAULT, 1) == A_DEFAULT
+
+    def test_power_mod_negative_rejected(self):
+        with pytest.raises(ValueError):
+            power_mod(A_DEFAULT, -1)
+
+    @given(st.integers(min_value=0, max_value=10 ** 9))
+    def test_power_mod_matches_pow(self, n):
+        assert power_mod(A_DEFAULT, n) == pow(A_DEFAULT, n, MOD46)
+
+    def test_jump_state(self):
+        s = RandlcState()
+        for _ in range(55):
+            s.next()
+        assert jump_state(SEED_DEFAULT, A_DEFAULT, 55) == s.x
+
+
+class TestVectorized:
+    def test_empty(self):
+        s = RandlcState()
+        out = vranlc(0, s)
+        assert out.size == 0
+        assert s.x == SEED_DEFAULT
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            vranlc(-1, RandlcState())
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 64, 1000, 4097])
+    def test_matches_scalar_stream(self, n):
+        sv, ss = RandlcState(), RandlcState()
+        vec = vranlc(n, sv)
+        ref = np.array([ss.next() for _ in range(n)])
+        np.testing.assert_array_equal(vec, ref)
+        assert sv.x == ss.x
+
+    @given(
+        seed=st.integers(min_value=1, max_value=MOD46 - 1),
+        n=st.integers(min_value=1, max_value=300),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_matches_scalar_any_seed(self, seed, n):
+        # The Fortran generator requires odd seeds for full period but the
+        # arithmetic is defined for any seed; both paths must agree.
+        sv, ss = RandlcState(seed), RandlcState(seed)
+        vec = vranlc(n, sv)
+        ref = np.array([ss.next() for _ in range(n)])
+        np.testing.assert_array_equal(vec, ref)
+        assert sv.x == ss.x
+
+    def test_consecutive_calls_continue_stream(self):
+        s1, s2 = RandlcState(), RandlcState()
+        a = np.concatenate([vranlc(100, s1), vranlc(57, s1)])
+        b = vranlc(157, s2)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_is_half(self):
+        # LCG sanity: the stream should look uniform on (0, 1).
+        s = RandlcState()
+        vals = vranlc(100_000, s)
+        assert abs(vals.mean() - 0.5) < 0.01
+        assert abs(vals.var() - 1.0 / 12.0) < 0.01

@@ -1,0 +1,36 @@
+"""Tests for the CLI's JSON export and the remaining commands."""
+
+import json
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestJsonExport:
+    def test_fig_results_dumped(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert main(["fig11", "fig13", "--json", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert set(data) == {"fig11", "fig13"}
+        assert data["fig13"]["crossovers"]["W"] == 4
+        assert "W" in data["fig11"]["seconds"]
+
+    def test_npb_command_json(self, tmp_path, capsys):
+        out = tmp_path / "npb.json"
+        assert main(["npb", "-c", "T", "-r", "1", "--json", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["npb"]["Class"] == "T"
+
+    def test_future_and_related_render(self, capsys):
+        assert main(["future", "related"]) == 0
+        out = capsys.readouterr().out
+        assert "F77 + MPI" in out
+        assert "ZPL" in out
+
+    def test_version_importable(self):
+        import repro
+
+        assert repro.__version__

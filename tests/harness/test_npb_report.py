@@ -1,0 +1,46 @@
+"""Tests for the NPB-style closing report."""
+
+import pytest
+
+from repro.core.trace import synthesize_mg_trace
+from repro.harness.npb_report import (
+    format_npb_report,
+    npb_report,
+    total_flops,
+)
+
+
+class TestTotalFlops:
+    def test_positive_and_scales_with_size(self):
+        small = total_flops(synthesize_mg_trace(16, 1))
+        large = total_flops(synthesize_mg_trace(32, 1))
+        assert small > 0
+        # 8x the points, slightly more than 8x the flops (extra level).
+        assert 7.5 < large / small < 9.5
+
+    def test_scales_with_iterations(self):
+        # Four iterations cost just under 4x one iteration: the initial
+        # residual and final norm are shared fixed work.
+        one = total_flops(synthesize_mg_trace(16, 1))
+        four = total_flops(synthesize_mg_trace(16, 4))
+        assert 3.0 < four / one < 4.0
+
+
+class TestReport:
+    def test_class_s_report(self):
+        rep = npb_report("S", repeats=1)
+        assert rep.verified
+        assert rep.mops > 0
+        assert rep.seconds > 0
+
+    def test_format(self):
+        rep = npb_report("T", repeats=1)
+        text = format_npb_report(rep)
+        assert "MG Benchmark Completed" in text
+        assert "Mop/s" in text
+        assert "16x16x16" in text
+        assert "N/A" in text  # class T has no official value
+
+    def test_unknown_implementation(self):
+        with pytest.raises(KeyError):
+            npb_report("T", implementation="zpl")

@@ -1,0 +1,49 @@
+"""Tests for the NPB-style section timers."""
+
+import pytest
+
+from repro.baselines import FortranMG
+from repro.core import get_class, synthesize_mg_trace
+from repro.harness.timers import SectionTimers, timed_solve
+
+
+class TestSectionTimers:
+    def test_accumulation(self):
+        t = SectionTimers()
+        t.add("resid", 0.5)
+        t.add("resid", 0.25)
+        t.add("psinv", 0.25)
+        assert t.seconds["resid"] == 0.75
+        assert t.calls["resid"] == 2
+        assert t.total == 1.0
+        assert t.shares()["resid"] == 0.75
+
+    def test_empty_shares(self):
+        assert SectionTimers().shares() == {}
+
+    def test_report_renders(self):
+        t = SectionTimers()
+        t.add("interp", 0.1)
+        text = t.report()
+        assert "interp" in text and "total" in text
+
+
+class TestTimedSolve:
+    def test_result_matches_untimed(self):
+        timed, timers = timed_solve("T")
+        plain = FortranMG().solve("T")
+        assert timed.rnm2 == plain.rnm2
+
+    def test_call_counts_match_trace(self):
+        _, timers = timed_solve("T")
+        sc = get_class("T")
+        counts = synthesize_mg_trace(sc.nx, sc.nit).counts_by_kind()
+        for kind in ("resid", "psinv", "rprj3", "interp"):
+            assert timers.calls[kind] == counts[kind], kind
+
+    def test_stencils_dominate(self):
+        # resid + psinv carry most of the arithmetic (the §5 premise
+        # behind the auto-parallelizer's coverage mattering so much).
+        _, timers = timed_solve("S")
+        shares = timers.shares()
+        assert shares["resid"] + shares["psinv"] > 0.5

@@ -1,0 +1,100 @@
+"""Tests for the SMP cost model."""
+
+import pytest
+
+from repro.core.trace import TraceOp
+from repro.machine.costmodel import MachineProfile, op_time_seconds
+
+
+def _profile(**overrides) -> MachineProfile:
+    base = dict(
+        name="x",
+        label="X",
+        per_point_ns={"resid": 10.0, "comm3": 2.0},
+        op_overhead_us=100.0,
+        parallel_kinds=frozenset({"resid"}),
+        fork_base_us=50.0,
+        fork_per_proc_us=10.0,
+        min_parallel_points=64,
+    )
+    base.update(overrides)
+    return MachineProfile(**base)
+
+
+class TestValidation:
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            _profile(op_overhead_us=-1.0)
+        with pytest.raises(ValueError):
+            _profile(fork_base_us=-1.0)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            _profile(min_parallel_points=0)
+
+    def test_beta_range(self):
+        with pytest.raises(ValueError):
+            _profile(unparallelizable_fraction=1.0)
+        _profile(unparallelizable_fraction=0.0)
+
+
+class TestSerialCost:
+    def test_volume_work_plus_overhead(self):
+        p = _profile()
+        t, par = op_time_seconds(p, TraceOp("resid", 3, 1000), 1)
+        assert not par
+        assert t == pytest.approx(1000 * 10e-9 + 100e-6)
+
+    def test_unknown_kind_costs_overhead_only(self):
+        p = _profile()
+        t, _ = op_time_seconds(p, TraceOp("zero3", 1, 10 ** 6), 1)
+        assert t == pytest.approx(100e-6)
+
+    def test_comm3_is_surface_work(self):
+        p = _profile(op_overhead_us=0.0)
+        t1, _ = op_time_seconds(p, TraceOp("comm3", 3, 8 ** 3), 1)
+        t2, _ = op_time_seconds(p, TraceOp("comm3", 4, 64 ** 3), 1)
+        # 512x the volume but only 64x the surface.
+        assert t2 / t1 == pytest.approx(64.0, rel=1e-9)
+
+    def test_large_grid_penalty(self):
+        p = _profile(op_overhead_us=0.0, large_grid_penalty_ns=10.0,
+                     large_grid_threshold=1000)
+        t_small, _ = op_time_seconds(p, TraceOp("resid", 1, 999), 1)
+        t_large, _ = op_time_seconds(p, TraceOp("resid", 1, 1000), 1)
+        assert t_small == pytest.approx(999 * 10e-9)
+        assert t_large == pytest.approx(1000 * 20e-9)
+
+
+class TestParallelCost:
+    def test_speedup_with_fork_cost(self):
+        p = _profile(op_overhead_us=0.0)
+        op = TraceOp("resid", 5, 10 ** 6)
+        t1, _ = op_time_seconds(p, op, 1)
+        t4, par = op_time_seconds(p, op, 4)
+        assert par
+        assert t4 == pytest.approx(t1 / 4 + (50 + 10 * 4) * 1e-6)
+
+    def test_below_threshold_runs_serial(self):
+        p = _profile()
+        t, par = op_time_seconds(p, TraceOp("resid", 1, 63), 8)
+        assert not par
+        assert t == pytest.approx(63 * 10e-9 + 100e-6)
+
+    def test_non_parallel_kind_runs_serial(self):
+        p = _profile()
+        _, par = op_time_seconds(p, TraceOp("comm3", 3, 10 ** 6), 8)
+        assert not par
+
+    def test_unparallelizable_fraction_caps_speedup(self):
+        p = _profile(op_overhead_us=0.0, fork_base_us=0.0,
+                     fork_per_proc_us=0.0, unparallelizable_fraction=0.1)
+        op = TraceOp("resid", 5, 10 ** 7)
+        t1, _ = op_time_seconds(p, op, 1)
+        t_inf, _ = op_time_seconds(p, op, 1000)
+        assert t1 / t_inf < 10.01  # cap at 1/beta
+
+    def test_nprocs_one_never_parallel(self):
+        p = _profile()
+        _, par = op_time_seconds(p, TraceOp("resid", 5, 10 ** 6), 1)
+        assert not par

@@ -1,0 +1,87 @@
+"""Tests for the distributed-memory (MPI-style) machine model."""
+
+import pytest
+
+from repro.core.trace import synthesize_mg_trace
+from repro.machine.distmem import (
+    DistMemMachine,
+    default_machine,
+    distmem_speedups,
+    simulate_distmem,
+)
+
+
+class TestMesh:
+    def test_cubic_factorizations(self):
+        m = default_machine()
+        assert m.mesh(8) == (2, 2, 2)
+        assert m.mesh(1) == (1, 1, 1)
+        assert sorted(m.mesh(12)) == [1, 3, 4] or sorted(m.mesh(12)) == [2, 2, 3]
+
+    def test_mesh_product(self):
+        m = default_machine()
+        for p in (1, 2, 3, 4, 6, 8, 16, 24, 32, 64):
+            px, py, pz = m.mesh(p)
+            assert px * py * pz == p
+
+    def test_prefers_balanced(self):
+        m = default_machine()
+        px, py, pz = m.mesh(64)
+        assert (px, py, pz) == (4, 4, 4)
+
+
+class TestSimulation:
+    def test_single_rank_matches_serial_work(self):
+        trace = synthesize_mg_trace(32, 2)
+        m = default_machine()
+        t1 = simulate_distmem(trace, m, 1)
+        assert t1 > 0
+
+    def test_speedup_monotone_until_saturation(self):
+        s = distmem_speedups(64, 4, procs=(1, 2, 4, 8))
+        assert s[1] == pytest.approx(1.0)
+        assert s[2] > 1.5
+        assert s[8] > s[4] > s[2]
+
+    def test_scales_nearly_linearly_on_class_a(self):
+        # The paper's future-work expectation: the MPI reference is the
+        # scalability yardstick.
+        s = distmem_speedups(256, 4, procs=(1, 32))
+        assert s[32] > 25
+
+    def test_small_grids_limit_w(self):
+        # Class W saturates earlier than class A (same effect as on the
+        # SMP: the coarse V-cycle levels cannot use many ranks).
+        sw = distmem_speedups(64, 40, procs=(1, 64))[64]
+        sa = distmem_speedups(256, 4, procs=(1, 64))[64]
+        assert sw < sa
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            simulate_distmem(synthesize_mg_trace(16, 1), default_machine(), 0)
+
+    def test_latency_hurts(self):
+        fast = DistMemMachine(
+            per_point_ns=default_machine().per_point_ns, latency_us=1.0
+        )
+        slow = DistMemMachine(
+            per_point_ns=default_machine().per_point_ns, latency_us=500.0
+        )
+        trace = synthesize_mg_trace(64, 4)
+        assert simulate_distmem(trace, slow, 8) > simulate_distmem(trace, fast, 8)
+
+
+class TestHarnessIntegration:
+    def test_future_scaling_driver(self):
+        from repro.harness.experiments import future_scaling
+
+        data = future_scaling(procs=(1, 2, 10, 32), classes=("W",))
+        assert data["mpi"]["W"][32] > data["smp"]["W"]["sac"][32]
+        assert data["saturation"]["W"]["f77"] <= 32
+
+    def test_report_renders(self):
+        from repro.harness.experiments import future_scaling
+        from repro.harness.report import format_future
+
+        text = format_future(future_scaling(procs=(1, 10, 32), classes=("W",)))
+        assert "F77 + MPI" in text and "saturation" in text

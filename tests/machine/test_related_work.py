@@ -1,0 +1,44 @@
+"""Tests for the §6 related-work models."""
+
+import pytest
+
+from repro.machine.related_work import related_profiles, related_work_table
+
+
+class TestProfiles:
+    def test_three_profiles(self):
+        assert set(related_profiles()) == {"f77mpi", "hpf", "zpl"}
+
+    def test_hpf_sequential_penalty(self):
+        profs = related_profiles()
+        ratio = (
+            profs["hpf"].per_point_ns["resid"]
+            / profs["f77mpi"].per_point_ns["resid"]
+        )
+        assert ratio == pytest.approx(3.0)
+
+    def test_betas_in_range(self):
+        for prof in related_profiles().values():
+            assert 0.0 <= prof.unparallelizable_fraction < 1.0
+
+
+class TestPaperClaims:
+    def test_hpf_vs_mpi(self):
+        data = related_work_table()
+        assert data["hpf_vs_mpi_seq"] == pytest.approx(3.0, rel=0.02)
+        assert data["hpf_vs_mpi_32"] == pytest.approx(8.0, rel=0.05)
+
+    def test_zpl_saturation(self):
+        data = related_work_table()
+        zs = data["zpl_speedups_class_b"]
+        assert zs[14] == pytest.approx(5.0, rel=0.05)
+        assert zs[1] == pytest.approx(1.0)
+        # Monotone but saturating.
+        assert zs[2] < zs[4] < zs[8] < zs[14]
+        assert (zs[14] - zs[8]) < (zs[4] - zs[2])
+
+    def test_report_renders(self):
+        from repro.harness.report import format_related
+
+        text = format_related(related_work_table())
+        assert "HPF" in text and "ZPL" in text

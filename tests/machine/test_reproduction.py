@@ -1,0 +1,133 @@
+"""The reproduction contract: the calibrated simulator must reproduce
+the paper's §5 numbers and, crucially, the *qualitative* findings it was
+not fitted to."""
+
+import pytest
+
+from repro.core.trace import synthesize_mg_trace
+from repro.machine import PAPER, get_profile, profiles, simulate, simulate_class
+from repro.machine.calibration import F77_ANCHOR_SECONDS_A
+
+CLASSES = {"W": (64, 40), "A": (256, 4)}
+
+
+def _seq(name, cls):
+    nx, nit = CLASSES[cls]
+    return simulate_class(nx, nit, get_profile(name), 1).seconds
+
+
+def _speedup(name, cls, p):
+    nx, nit = CLASSES[cls]
+    prof = get_profile(name)
+    return _seq(name, cls) / simulate_class(nx, nit, prof, p).seconds
+
+
+class TestSequentialCalibration:
+    def test_anchor(self):
+        assert _seq("f77", "A") == pytest.approx(F77_ANCHOR_SECONDS_A, rel=1e-9)
+
+    @pytest.mark.parametrize("cls", ["W", "A"])
+    def test_fig11_ratios_exact(self, cls):
+        # The sequential constants are solved from these ratios; they must
+        # come out exactly.
+        assert _seq("sac", cls) / _seq("f77", cls) == pytest.approx(
+            PAPER.f77_over_sac[cls], rel=1e-6
+        )
+        assert _seq("omp", cls) / _seq("sac", cls) == pytest.approx(
+            PAPER.sac_over_c[cls], rel=1e-6
+        )
+
+    def test_ordering(self):
+        for cls in ("W", "A"):
+            assert _seq("f77", cls) < _seq("sac", cls) < _seq("omp", cls)
+
+
+class TestFig12Speedups:
+    @pytest.mark.parametrize("name", ["f77", "sac", "omp"])
+    @pytest.mark.parametrize("cls", ["W", "A"])
+    def test_speedup_at_10_close_to_paper(self, name, cls):
+        target = PAPER.speedup_10[name][cls]
+        got = _speedup(name, cls, 10)
+        assert got == pytest.approx(target, rel=0.06), (name, cls, got)
+
+    def test_monotone_in_processors(self):
+        for name in ("f77", "sac", "omp"):
+            prev = 0.0
+            for p in PAPER.processors:
+                s = _speedup(name, "A", p)
+                assert s >= prev
+                prev = s
+
+    def test_class_a_scales_better_than_w(self):
+        # "the larger problem size A scales much better than size class W"
+        for name in ("f77", "sac", "omp"):
+            assert _speedup(name, "A", 10) > _speedup(name, "W", 10)
+
+    def test_sac_gains_more_from_a_than_others(self):
+        # "the scalability of the SAC code benefits significantly more
+        # from switching from size class W to size class A".
+        gain = {
+            name: _speedup(name, "A", 10) / _speedup(name, "W", 10)
+            for name in ("f77", "sac", "omp")
+        }
+        assert gain["sac"] > gain["omp"]
+        assert gain["sac"] > gain["f77"]
+
+
+class TestFig13Claims:
+    """Qualitative findings the model was NOT fitted against."""
+
+    def _time(self, name, cls, p):
+        nx, nit = CLASSES[cls]
+        return simulate_class(nx, nit, get_profile(name), p).seconds
+
+    @pytest.mark.parametrize("cls", ["W", "A"])
+    def test_sac_passes_f77_at_four_processors(self, cls):
+        assert self._time("sac", cls, 2) > self._time("f77", cls, 2)
+        assert self._time("sac", cls, 4) < self._time("f77", cls, 4)
+
+    def test_sac_ahead_of_openmp_class_a_throughout(self):
+        for p in PAPER.processors:
+            assert self._time("sac", "A", p) < self._time("omp", "A", p), p
+
+    def test_openmp_overtakes_sac_on_class_w(self):
+        # Implied by the paper's "at least within the processor range
+        # investigated" hedge applying to class A only.
+        assert self._time("omp", "W", 10) < self._time("sac", "W", 10)
+
+    def test_scalability_ordering(self):
+        # OpenMP shows the best scalability, F77 the worst (Fig. 12 text).
+        for cls in ("W", "A"):
+            assert (
+                _speedup("omp", cls, 10)
+                > _speedup("sac", cls, 10)
+                > _speedup("f77", cls, 10)
+            )
+
+
+class TestSimulator:
+    def test_profiles_complete(self):
+        assert set(profiles()) == {"f77", "sac", "omp"}
+
+    def test_invalid_profile_name(self):
+        with pytest.raises(KeyError):
+            get_profile("zpl")
+
+    def test_sim_result_breakdowns_sum(self):
+        trace = synthesize_mg_trace(16, 2)
+        res = simulate(trace, get_profile("sac"), 4)
+        assert sum(res.seconds_by_kind.values()) == pytest.approx(res.seconds)
+        assert sum(res.seconds_by_level.values()) == pytest.approx(res.seconds)
+        assert res.total_ops == len(trace)
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(ValueError):
+            simulate(synthesize_mg_trace(16, 1), get_profile("f77"), 0)
+
+    def test_parallel_op_accounting(self):
+        trace = synthesize_mg_trace(64, 1)
+        seq = simulate(trace, get_profile("sac"), 1)
+        par = simulate(trace, get_profile("sac"), 8)
+        assert seq.parallel_ops == 0
+        assert par.parallel_ops > 0
+        assert par.seconds < seq.seconds

@@ -1,0 +1,88 @@
+"""Tests for the fork-join thread team."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime.executor import ThreadTeam
+from repro.runtime.scheduler import Chunk, block_partition
+
+
+class TestThreadTeam:
+    def test_runs_all_chunks(self):
+        out = np.zeros(16)
+
+        def kernel(chunk: Chunk) -> None:
+            out[chunk.lo[0]:chunk.hi[0]] += 1
+
+        with ThreadTeam(4) as team:
+            team.run(kernel, block_partition((16,), 4))
+        assert (out == 1).all()
+
+    def test_barrier_semantics(self):
+        # run() must not return before every chunk has been processed.
+        done = []
+        lock = threading.Lock()
+
+        def kernel(chunk: Chunk) -> None:
+            with lock:
+                done.append(chunk.lo[0])
+
+        with ThreadTeam(3) as team:
+            team.run(kernel, block_partition((9,), 3))
+            assert sorted(done) == [0, 3, 6]
+
+    def test_empty_chunks_skipped(self):
+        calls = []
+        lock = threading.Lock()
+
+        def kernel(chunk: Chunk) -> None:
+            with lock:
+                calls.append(chunk)
+
+        with ThreadTeam(4) as team:
+            team.run(kernel, block_partition((2,), 4))
+        assert len(calls) == 2
+
+    def test_worker_exception_propagates(self):
+        def kernel(chunk: Chunk) -> None:
+            raise RuntimeError("kernel failure")
+
+        with ThreadTeam(2) as team:
+            with pytest.raises(RuntimeError, match="kernel failure"):
+                team.run(kernel, block_partition((4,), 2))
+
+    def test_single_chunk_runs_inline(self):
+        ident = []
+
+        def kernel(chunk: Chunk) -> None:
+            ident.append(threading.current_thread().name)
+
+        with ThreadTeam(2) as team:
+            team.run(kernel, [Chunk((0,), (4,))])
+        assert ident[0] == threading.main_thread().name
+
+    def test_region_counter(self):
+        with ThreadTeam(2) as team:
+            team.run(lambda c: None, block_partition((4,), 2))
+            team.run(lambda c: None, block_partition((4,), 2))
+            assert team.regions == 2
+
+    def test_use_after_shutdown(self):
+        team = ThreadTeam(1)
+        team.shutdown()
+        with pytest.raises(RuntimeError):
+            team.run(lambda c: None, [Chunk((0,), (1,))])
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ThreadTeam(0)
+
+    def test_run_partitioned(self):
+        out = np.zeros(8)
+        with ThreadTeam(3) as team:
+            team.run_partitioned(
+                lambda c: out.__setitem__(slice(c.lo[0], c.hi[0]), 1.0), (8,)
+            )
+        assert (out == 1).all()

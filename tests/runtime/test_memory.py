@@ -1,0 +1,90 @@
+"""Tests for the reference-counting memory manager model."""
+
+import pytest
+
+from repro.core.trace import synthesize_mg_trace
+from repro.runtime.memory import (
+    AllocationEvent,
+    RefCountingManager,
+    allocation_events_for_trace,
+)
+
+
+class TestRefCounting:
+    def test_alloc_free_cycle(self):
+        mgr = RefCountingManager()
+        h = mgr.allocate(100)
+        assert mgr.live_points == 100
+        mgr.decref(h)
+        assert mgr.live_points == 0
+        assert [e.action for e in mgr.events] == ["alloc", "free"]
+
+    def test_incref_delays_free(self):
+        mgr = RefCountingManager()
+        h = mgr.allocate(10)
+        mgr.incref(h)
+        mgr.decref(h)
+        assert mgr.live_points == 10  # one reference left
+        mgr.decref(h)
+        assert mgr.live_points == 0
+
+    def test_double_free_rejected(self):
+        mgr = RefCountingManager()
+        h = mgr.allocate(10)
+        mgr.decref(h)
+        with pytest.raises(KeyError):
+            mgr.decref(h)
+
+    def test_peak_tracking(self):
+        mgr = RefCountingManager()
+        a = mgr.allocate(100)
+        b = mgr.allocate(50)
+        mgr.decref(a)
+        c = mgr.allocate(10)
+        assert mgr.peak_points == 150
+        mgr.decref(b)
+        mgr.decref(c)
+        assert mgr.live_arrays == 0
+
+    def test_alloc_counts_by_size(self):
+        mgr = RefCountingManager()
+        for size in (8, 8, 64):
+            mgr.decref(mgr.allocate(size))
+        assert mgr.alloc_counts_by_size() == {8: 2, 64: 1}
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            RefCountingManager().allocate(0)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            AllocationEvent("realloc", 4)
+        with pytest.raises(ValueError):
+            AllocationEvent("alloc", 0)
+
+
+class TestStyleProfiles:
+    def test_static_styles_allocate_nothing(self):
+        trace = synthesize_mg_trace(16, 1)
+        assert allocation_events_for_trace(trace, "f77") == []
+        assert allocation_events_for_trace(trace, "c") == []
+
+    def test_sac_allocates_per_op(self):
+        trace = synthesize_mg_trace(16, 1)
+        events = allocation_events_for_trace(trace, "sac")
+        assert events
+        allocs = [e for e in events if e.action == "alloc"]
+        # Every allocation is matched by a free (value semantics).
+        assert len(allocs) == len(events) // 2
+
+    def test_alloc_count_invariant_against_grid_size(self):
+        # The paper's point: op *count* (hence allocator overhead) does
+        # not shrink with the grid; doubling nx multiplies the work by 8
+        # but adds only one level's worth of allocations.
+        small = allocation_events_for_trace(synthesize_mg_trace(16, 1), "sac")
+        large = allocation_events_for_trace(synthesize_mg_trace(32, 1), "sac")
+        assert len(large) < 2 * len(small)
+
+    def test_unknown_style(self):
+        with pytest.raises(KeyError):
+            allocation_events_for_trace(synthesize_mg_trace(16, 1), "hpf")

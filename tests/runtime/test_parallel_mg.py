@@ -1,0 +1,88 @@
+"""Tests for the shared-memory parallel MG kernels: results must be
+bit-identical to the serial kernels for any team size."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FortranMG
+from repro.core import (
+    A_COEFFS,
+    S_COEFFS_A,
+    comm3,
+    interp_add,
+    make_grid,
+    psinv,
+    resid,
+    rprj3,
+)
+from repro.runtime import (
+    ParallelMG,
+    ThreadTeam,
+    parallel_interp_add,
+    parallel_psinv,
+    parallel_resid,
+    parallel_rprj3,
+)
+
+
+def _random_periodic(m, seed=0):
+    rng = np.random.default_rng(seed)
+    u = make_grid(m)
+    u[1:-1, 1:-1, 1:-1] = rng.standard_normal((m, m, m))
+    return comm3(u)
+
+
+@pytest.fixture(params=[1, 2, 3, 7], scope="module")
+def team(request):
+    with ThreadTeam(request.param) as t:
+        yield t
+
+
+class TestKernels:
+    def test_resid(self, team):
+        u = _random_periodic(8, 1)
+        v = _random_periodic(8, 2)
+        np.testing.assert_array_equal(
+            parallel_resid(u, v, A_COEFFS, team), resid(u, v, A_COEFFS)
+        )
+
+    def test_psinv(self, team):
+        r = _random_periodic(8, 3)
+        u1 = _random_periodic(8, 4)
+        u2 = u1.copy()
+        parallel_psinv(r, u1, S_COEFFS_A, team)
+        psinv(r, u2, S_COEFFS_A)
+        np.testing.assert_array_equal(u1, u2)
+
+    def test_rprj3(self, team):
+        r = _random_periodic(8, 5)
+        np.testing.assert_array_equal(parallel_rprj3(r, team), rprj3(r))
+
+    def test_interp(self, team):
+        z = _random_periodic(4, 6)
+        u1, u2 = make_grid(8), make_grid(8)
+        parallel_interp_add(z, u1, team)
+        interp_add(z, u2)
+        np.testing.assert_array_equal(u1, u2)
+
+    def test_rprj3_rejects_tiny(self, team):
+        with pytest.raises(ValueError):
+            parallel_rprj3(make_grid(2), team)
+
+    def test_interp_shape_check(self, team):
+        with pytest.raises(ValueError):
+            parallel_interp_add(make_grid(4), make_grid(4), team)
+
+
+class TestFullSolve:
+    @pytest.mark.parametrize("nthreads", [1, 2, 5])
+    def test_bit_identical_to_serial(self, nthreads):
+        par = ParallelMG(nthreads).solve("T")
+        ser = FortranMG().solve("T")
+        assert par.rnm2 == ser.rnm2
+        np.testing.assert_array_equal(par.u, ser.u)
+        np.testing.assert_array_equal(par.r, ser.r)
+
+    def test_class_s_verifies(self):
+        res = ParallelMG(2).solve("S")
+        assert res.verified

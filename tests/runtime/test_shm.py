@@ -1,0 +1,85 @@
+"""Tests for process-based shared-memory execution."""
+
+import numpy as np
+import pytest
+
+from repro.core import A_COEFFS, S_COEFFS_A, comm3, make_grid, psinv, resid
+from repro.runtime.shm import (
+    ProcessTeam,
+    SharedGrid,
+    process_psinv,
+    process_resid,
+)
+
+
+def _random_periodic(m, seed=0):
+    rng = np.random.default_rng(seed)
+    u = make_grid(m)
+    u[1:-1, 1:-1, 1:-1] = rng.standard_normal((m, m, m))
+    return comm3(u)
+
+
+class TestSharedGrid:
+    def test_create_zeroed(self):
+        with SharedGrid.create(4) as g:
+            assert g.array.shape == (6, 6, 6)
+            assert not g.array.any()
+
+    def test_from_array_copies(self):
+        a = _random_periodic(4, 1)
+        with SharedGrid.from_array(a) as g:
+            np.testing.assert_array_equal(g.array, a)
+            g.array[0, 0, 0] = 99.0
+            assert a[0, 0, 0] != 99.0
+
+    def test_pickle_attaches_same_storage(self):
+        import pickle
+
+        with SharedGrid.create(2) as g:
+            g.array[1, 1, 1] = 5.0
+            clone = pickle.loads(pickle.dumps(g))
+            try:
+                assert clone.array[1, 1, 1] == 5.0
+                clone.array[1, 1, 2] = 7.0
+                assert g.array[1, 1, 2] == 7.0  # same memory
+            finally:
+                clone.close()
+
+
+class TestProcessTeam:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ProcessTeam(0)
+
+    def test_use_after_shutdown(self):
+        team = ProcessTeam(1)
+        team.shutdown()
+        with pytest.raises(RuntimeError):
+            team.map(print, [1])
+
+
+@pytest.mark.parametrize("nworkers", [1, 3])
+class TestProcessKernels:
+    def test_resid_bit_identical(self, nworkers):
+        u_np = _random_periodic(8, 2)
+        v_np = _random_periodic(8, 3)
+        want = resid(u_np, v_np, A_COEFFS)
+        with ProcessTeam(nworkers) as team, \
+                SharedGrid.from_array(u_np) as u, \
+                SharedGrid.from_array(v_np) as v:
+            r = process_resid(u, v, A_COEFFS, team)
+            try:
+                np.testing.assert_array_equal(r.array, want)
+            finally:
+                r.unlink()
+
+    def test_psinv_bit_identical(self, nworkers):
+        r_np = _random_periodic(8, 4)
+        u_np = _random_periodic(8, 5)
+        want = u_np.copy()
+        psinv(r_np, want, S_COEFFS_A)
+        with ProcessTeam(nworkers) as team, \
+                SharedGrid.from_array(r_np) as r, \
+                SharedGrid.from_array(u_np) as u:
+            process_psinv(r, u, S_COEFFS_A, team)
+            np.testing.assert_array_equal(u.array, want)

@@ -1,0 +1,97 @@
+"""Tests for the SPMD distributed-memory MG (§7's comparison target)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FortranMG
+from repro.core import comm3, make_grid
+from repro.runtime.spmd import DistributedMG, World
+
+
+def _random_periodic(m, seed=0):
+    rng = np.random.default_rng(seed)
+    u = make_grid(m)
+    u[1:-1, 1:-1, 1:-1] = rng.standard_normal((m, m, m))
+    return comm3(u)
+
+
+class TestWorld:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            World(0)
+
+    def test_allgather_rank_ordered(self):
+        import threading
+
+        world = World(3)
+        out = [None] * 3
+
+        def worker(r):
+            out[r] = world.comm(r).allgather(r * 10)
+
+        ts = [threading.Thread(target=worker, args=(r,)) for r in range(3)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert out[0] == out[1] == out[2] == [0, 10, 20]
+
+    def test_ring_exchange_periodic(self):
+        import threading
+
+        world = World(2)
+        got = [None, None]
+
+        def worker(r):
+            lower, upper = world.comm(r).exchange_halos(
+                np.array([10.0 * r + 1]), np.array([10.0 * r + 2])
+            )
+            got[r] = (float(lower[0]), float(upper[0]))
+
+        ts = [threading.Thread(target=worker, args=(r,)) for r in range(2)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        # rank 0's lower halo is rank 1's last plane; upper is rank 1's
+        # first plane (periodic ring of two).
+        assert got[0] == (12.0, 11.0)
+        assert got[1] == (2.0, 1.0)
+
+    def test_single_rank_self_wrap(self):
+        comm = World(1).comm(0)
+        lower, upper = comm.exchange_halos(np.array([1.0]), np.array([2.0]))
+        assert float(lower[0]) == 2.0 and float(upper[0]) == 1.0
+
+
+class TestDistributedMG:
+    def test_rank_count_validated(self):
+        with pytest.raises(ValueError):
+            DistributedMG(3)
+        with pytest.raises(ValueError):
+            DistributedMG(0)
+
+    def test_class_too_small(self):
+        with pytest.raises(ValueError, match="too small"):
+            DistributedMG(8).solve("T")  # 16^3 needs nx >= 32 for 8 ranks
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_bit_identical_to_serial_class_t(self, nranks):
+        ref = FortranMG().solve("T")
+        res = DistributedMG(nranks).solve("T")
+        np.testing.assert_array_equal(res.u, ref.u)
+        np.testing.assert_array_equal(res.r, ref.r)
+        assert res.rnm2 == pytest.approx(ref.rnm2, rel=1e-12)
+
+    def test_class_s_verifies_with_8_ranks(self):
+        res = DistributedMG(8).solve("S")
+        assert res.verified
+        ref = FortranMG().solve("S")
+        np.testing.assert_array_equal(res.u, ref.u)
+
+    def test_switch_level_replication(self):
+        # With 4 ranks on class T (lt=4): levels 4 and 3 are distributed
+        # (>= 8 planes), levels 2 and 1 replicate.
+        mg = DistributedMG(4)
+        assert mg._distributed(4) and mg._distributed(3)
+        assert not mg._distributed(2)

@@ -1,0 +1,221 @@
+"""Tests for the shape-specializing codegen backend."""
+
+import numpy as np
+import pytest
+
+from repro.sac import CompileOptions, SacProgram
+from repro.sac.codegen import CodegenUnsupported, compile_function
+from repro.sac.errors import SacRuntimeError
+
+
+def compile_and_check(src, fname, *args, options=None):
+    """Compile; result must equal the interpreter's bit for bit."""
+    prog = SacProgram.from_source(src, options=options)
+    fn = compile_function(prog, fname, args)
+    got = fn(*args)
+    want = prog.call(fname, *args)
+    if isinstance(want, np.ndarray):
+        np.testing.assert_array_equal(got, want)
+    else:
+        assert got == want
+    return fn
+
+
+class TestBasics:
+    def test_scalar_arithmetic_baked(self):
+        fn = compile_and_check("int f(int x) { return x * 2 + 1; }", "f", 5)
+        assert fn.baked == {"x": 5}
+
+    def test_elementwise(self):
+        a = np.arange(6.0).reshape(2, 3)
+        compile_and_check(
+            "double[+] f(double[+] a) { return 2.0 * a - 1.0; }", "f", a
+        )
+
+    def test_genarray_identity(self):
+        a = np.arange(8.0)
+        compile_and_check(
+            "double[+] f(double[+] a) { return with (. <= iv <= .) "
+            "genarray(shape(a), a[iv]); }",
+            "f", a,
+        )
+
+    def test_strided_and_shifted(self):
+        a = np.arange(16.0)
+        compile_and_check(
+            "double[+] f(double[+] a) { return with (. <= iv <= .) "
+            "genarray(shape(a) / 2, a[2 * iv + 1]); }",
+            "f", a,
+        )
+
+    def test_step_generator(self):
+        a = np.arange(4.0)
+        compile_and_check(
+            "double[+] f(double[+] a) { return with (. <= iv <= . step 2) "
+            "genarray(2 * shape(a), a[iv / 2]); }",
+            "f", a,
+        )
+
+    def test_modarray(self):
+        a = np.zeros((5, 5))
+        compile_and_check(
+            "double[+] f(double[+] a) { return with (1 <= iv < 4) "
+            "modarray(a, 7.0); }",
+            "f", a,
+        )
+
+    def test_fold_sum(self):
+        a = np.arange(10.0)
+        compile_and_check(
+            "double f(double[+] a) { return with (0*shape(a) <= iv < "
+            "shape(a)) fold(+, 0.0, a[iv] * a[iv]); }",
+            "f", a,
+        )
+
+    def test_fold_max(self):
+        a = np.array([3.0, 9.0, 1.0])
+        compile_and_check(
+            "double f(double[.] a) { return with ([0] <= i < shape(a)) "
+            "fold(max, a[[0]], a[i]); }",
+            "f", a,
+        )
+
+    def test_control_flow_unrolled(self):
+        src = ("double f(double[.] a, int n) { s = 0.0; "
+               "for (i = 0; i < n; i += 1) { s = s + a[[i]]; } return s; }")
+        fn = compile_and_check(src, "f", np.arange(4.0), 3)
+        # The loop unrolled: no Python 'for' in the generated body.
+        assert "for " not in fn.source.split("def f")[1]
+
+    def test_recursion_inlined(self):
+        src = (
+            "double total(double[+] a) {\n"
+            "  if (shape(a)[[0]] > 1) {\n"
+            "    h = with (. <= iv <= .) genarray(shape(a)/2, "
+            "a[2*iv] + a[2*iv+1]);\n"
+            "    return total(h);\n"
+            "  }\n"
+            "  return a[[0]];\n"
+            "}"
+        )
+        a = np.arange(8.0)
+        compile_and_check(src, "total", a)
+
+    def test_int_division_semantics(self):
+        src = "int[.] f(int[.] a, int b) { return a / b; }"
+        prog = SacProgram.from_source(src)
+        a = np.array([-7, 7, -8])
+        fn = compile_function(prog, "f", (a, 2))
+        np.testing.assert_array_equal(fn(a, 2), [-3, 3, -4])
+
+
+class TestSpecializationContract:
+    def test_wrong_shape_is_new_specialization(self):
+        prog = SacProgram.from_source(
+            "double f(double[+] a) { return sum(a); }"
+        )
+        fn = compile_function(prog, "f", (np.zeros(4),))
+        # A different shape slips past the baked-arg check (arrays stay
+        # symbolic) but the generated slices assume the shape; the
+        # documented contract is one compilation per shape.
+        fn4 = fn(np.arange(4.0))
+        assert fn4 == 6.0
+
+    def test_baked_int_validated(self):
+        prog = SacProgram.from_source(
+            "double f(double[.] a, int k) { return a[[k]]; }"
+        )
+        fn = compile_function(prog, "f", (np.arange(4.0), 2))
+        assert fn(np.arange(4.0), 2) == 2.0
+        with pytest.raises(ValueError, match="specialized"):
+            fn(np.arange(4.0), 3)
+
+    def test_wrong_arity(self):
+        prog = SacProgram.from_source("int f(int x) { return x; }")
+        fn = compile_function(prog, "f", (1,))
+        with pytest.raises(TypeError):
+            fn(1, 2)
+
+    def test_source_is_standalone(self):
+        prog = SacProgram.from_source(
+            "double[+] f(double[+] a) { return a + a; }"
+        )
+        fn = compile_function(prog, "f", (np.ones(3),))
+        ns: dict = {}
+        exec(fn.source, ns)  # no imports beyond numpy
+        np.testing.assert_array_equal(ns["f"](np.ones(3)), 2 * np.ones(3))
+
+
+class TestUnsupported:
+    def test_data_dependent_branch(self):
+        src = ("double f(double[.] a) { if (a[[0]] > 0.0) { return 1.0; } "
+               "return 0.0; }")
+        prog = SacProgram.from_source(src)
+        with pytest.raises(CodegenUnsupported):
+            compile_function(prog, "f", (np.ones(3),))
+
+    def test_width_filters(self):
+        src = ("double[+] f(double[.] a) { return with "
+               "([0] <= iv < [6] step 3 width 2) genarray([6], 1.0); }")
+        prog = SacProgram.from_source(src)
+        with pytest.raises(CodegenUnsupported):
+            compile_function(prog, "f", (np.zeros(6),))
+
+    def test_out_of_bounds_at_compile_time(self):
+        src = ("double[+] f(double[.] a) { return with (. <= iv <= .) "
+               "genarray(shape(a), a[iv + 1]); }")
+        prog = SacProgram.from_source(src)
+        with pytest.raises(SacRuntimeError):
+            compile_function(prog, "f", (np.zeros(4),))
+
+    def test_statement_budget(self):
+        src = ("double f(double[.] a) { s = 0.0; "
+               "for (i = 0; i < 500; i += 1) { s = s + a[[0]]; } return s; }")
+        prog = SacProgram.from_source(src)
+        with pytest.raises(CodegenUnsupported):
+            compile_function(prog, "f", (np.ones(1),), max_statements=100)
+
+
+class TestMGCompiled:
+    def test_relax_kernel(self):
+        from repro.core import comm3, make_grid, relax_naive
+        from repro.core.stencils import S_COEFFS_A
+        from repro.mg_sac import load_mg_program
+
+        rng = np.random.default_rng(3)
+        u = make_grid(8)
+        u[1:-1, 1:-1, 1:-1] = rng.standard_normal((8, 8, 8))
+        comm3(u)
+        c = np.asarray(S_COEFFS_A)
+        prog = load_mg_program(True, True)
+        fn = compile_function(prog, "RelaxKernel", (u, c))
+        got = fn(u, c)
+        want = relax_naive(u, S_COEFFS_A)
+        np.testing.assert_allclose(
+            got[1:-1, 1:-1, 1:-1], want[1:-1, 1:-1, 1:-1],
+            rtol=1e-12, atol=1e-14,
+        )
+
+    def test_full_mg_class_t_bit_equal_to_interpreter(self):
+        from repro.core import zran3
+        from repro.mg_sac import load_mg_program
+
+        prog = load_mg_program(True, True)
+        v = zran3(16)
+        fn = compile_function(prog, "FinalResidual", (v, 2))
+        got = fn(v, 2)
+        want = prog.call("FinalResidual", v, 2)
+        np.testing.assert_array_equal(got, want)
+
+    def test_full_mg_class_s_verifies(self):
+        from repro.core import get_class, zran3
+        from repro.mg_sac import load_mg_program
+
+        sc = get_class("S")
+        prog = load_mg_program(True, True)
+        v = zran3(sc.nx)
+        fn = compile_function(prog, "FinalResidual", (v, sc.nit))
+        r = fn(v, sc.nit)
+        rnm2 = float(np.sqrt(np.mean(r[1:-1, 1:-1, 1:-1] ** 2)))
+        ref = sc.verify_value
+        assert abs(rnm2 - ref) / ref < 1e-6

@@ -1,0 +1,118 @@
+"""Diagnostics quality: errors carry positions and useful messages."""
+
+import numpy as np
+import pytest
+
+from repro.sac import CompileOptions, SacProgram
+from repro.sac.errors import (
+    SacArityError,
+    SacError,
+    SacNameError,
+    SacRuntimeError,
+    SacSyntaxError,
+    SacTypeError,
+    SourcePos,
+)
+from repro.sac.lexer import tokenize
+from repro.sac.parser import parse_program
+
+
+class TestSourcePositions:
+    def test_lexer_error_position(self):
+        with pytest.raises(SacSyntaxError) as err:
+            tokenize("x = 1;\ny = @;", filename="bad.sac")
+        assert err.value.pos.line == 2
+        assert err.value.pos.filename == "bad.sac"
+        assert "bad.sac:2" in str(err.value)
+
+    def test_parser_error_position(self):
+        with pytest.raises(SacSyntaxError) as err:
+            parse_program("int f() {\n  return 1 +;\n}")
+        assert err.value.pos.line == 2
+
+    def test_sourcepos_str(self):
+        assert str(SourcePos(3, 7, "m.sac")) == "m.sac:3:7"
+
+    def test_typecheck_positions(self):
+        from repro.sac.typecheck import collect_diagnostics
+
+        diags = collect_diagnostics(
+            parse_program("int f() {\n  return missing;\n}")
+        )
+        assert diags[0].pos is not None
+        assert diags[0].pos.line == 2
+
+
+class TestErrorHierarchy:
+    def test_all_sac_errors(self):
+        for cls in (SacSyntaxError, SacTypeError, SacNameError,
+                    SacArityError, SacRuntimeError):
+            assert issubclass(cls, SacError)
+
+    def test_error_without_position(self):
+        e = SacError("boom")
+        assert str(e) == "boom"
+
+
+class TestRuntimeDiagnostics:
+    def _prog(self, src):
+        return SacProgram.from_source(
+            src, options=CompileOptions(typecheck=False, optimize=False)
+        )
+
+    def test_overload_error_lists_signatures(self):
+        prog = self._prog(
+            "int f(int x) { return x; } int f(double x) { return 1; }"
+        )
+        with pytest.raises(SacArityError) as err:
+            prog.call("f", np.zeros(3))
+        msg = str(err.value)
+        assert "(int)" in msg and "(double)" in msg
+
+    def test_out_of_bounds_names_axis(self):
+        prog = self._prog("double f(double[.,.] a) { return a[[0, 9]]; }")
+        with pytest.raises(SacRuntimeError) as err:
+            prog.call("f", np.zeros((2, 2)))
+        assert "axis 1" in str(err.value)
+
+    def test_generator_range_error_mentions_extent(self):
+        prog = self._prog(
+            "double[.] f(double[.] a) { return with ([0] <= iv < [99]) "
+            "modarray(a, 0.0); }"
+        )
+        with pytest.raises(SacRuntimeError) as err:
+            prog.call("f", np.zeros(4))
+        assert "extent" in str(err.value)
+
+    def test_shape_mismatch_message(self):
+        prog = self._prog("double[.] f(double[.] a, double[.] b) "
+                          "{ return a + b; }")
+        with pytest.raises(SacTypeError) as err:
+            prog.call("f", np.zeros(3), np.zeros(5))
+        assert "(3,)" in str(err.value) and "(5,)" in str(err.value)
+
+    def test_division_by_zero(self):
+        prog = self._prog("double f(double x) { return 1.0 / x; }")
+        with pytest.raises(SacRuntimeError):
+            prog.call("f", 0.0)
+
+    def test_modarray_needs_array_frame(self):
+        prog = self._prog(
+            "double f(double x) { return with ([0] <= iv < [1]) "
+            "modarray(x, 0.0); }"
+        )
+        with pytest.raises(SacTypeError):
+            prog.call("f", 1.0)
+
+    def test_negative_genarray_shape(self):
+        prog = self._prog(
+            "double[.] f(int n) { return with ([0] <= iv < [0]) "
+            "genarray([n], 0.0); }"
+        )
+        with pytest.raises(SacRuntimeError):
+            prog.call("f", -3)
+
+    def test_unsupported_argument_dtype(self):
+        prog = self._prog("double f(double[.] a) { return a[[0]]; }")
+        with pytest.raises(SacTypeError):
+            prog.call("f", np.zeros(3, dtype=np.complex128))

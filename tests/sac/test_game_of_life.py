@@ -1,0 +1,103 @@
+"""The Game of Life SAC program as a language test: branch-free rule
+encoding, torus wraparound, and agreement with a NumPy reference."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.sac import CompileOptions, SacProgram
+
+SOURCE = (
+    Path(__file__).resolve().parents[2] / "examples" / "sac"
+    / "game_of_life.sac"
+)
+
+
+@pytest.fixture(scope="module")
+def life():
+    return SacProgram.from_file(SOURCE)
+
+
+def numpy_life_step(world: np.ndarray) -> np.ndarray:
+    """Reference: periodic border + B3/S23 on the interior."""
+    w = world.copy()
+    for axis in (1, 0):
+        lo = [slice(None)] * 2
+        hi = [slice(None)] * 2
+        src_hi = [slice(None)] * 2
+        src_lo = [slice(None)] * 2
+        lo[axis], src_hi[axis] = 0, -2
+        hi[axis], src_lo[axis] = -1, 1
+        w[tuple(lo)] = w[tuple(src_hi)]
+        w[tuple(hi)] = w[tuple(src_lo)]
+    n = sum(
+        w[1 + dy : w.shape[0] - 1 + dy, 1 + dx : w.shape[1] - 1 + dx]
+        for dy in (-1, 0, 1)
+        for dx in (-1, 0, 1)
+        if (dy, dx) != (0, 0)
+    )
+    alive = w[1:-1, 1:-1] > 0.5
+    new = (n == 3) | (alive & (n == 2))
+    out = w.copy()
+    out[1:-1, 1:-1] = new.astype(np.float64)
+    return out
+
+
+def _world(cells, size=10):
+    w = np.zeros((size + 2, size + 2))
+    for y, x in cells:
+        w[y + 1, x + 1] = 1.0
+    return w
+
+
+class TestRule:
+    def test_indicator(self, life):
+        assert life.call("Indicator", 3.0, 3.0) == 1.0
+        assert life.call("Indicator", 2.0, 3.0) == 0.0
+        assert life.call("Indicator", 5.0, 3.0) == 0.0
+
+    @pytest.mark.parametrize("alive", [0.0, 1.0])
+    @pytest.mark.parametrize("n", range(9))
+    def test_b3s23(self, life, alive, n):
+        want = 1.0 if (n == 3 or (alive and n == 2)) else 0.0
+        assert life.call("Rule", alive, float(n)) == want
+
+
+class TestStep:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_matches_numpy_reference(self, life, seed):
+        rng = np.random.default_rng(seed)
+        w = np.zeros((12, 12))
+        w[1:-1, 1:-1] = (rng.random((10, 10)) < 0.35).astype(np.float64)
+        got = life.call("LifeStep", w)
+        want = numpy_life_step(w)
+        np.testing.assert_array_equal(got[1:-1, 1:-1], want[1:-1, 1:-1])
+
+    def test_blinker_oscillates(self, life):
+        w = _world([(4, 3), (4, 4), (4, 5)])
+        one = life.call("LifeStep", w)
+        two = life.call("LifeStep", one)
+        np.testing.assert_array_equal(two[1:-1, 1:-1], w[1:-1, 1:-1])
+
+    def test_block_is_still(self, life):
+        w = _world([(2, 2), (2, 3), (3, 2), (3, 3)])
+        nxt = life.call("LifeStep", w)
+        np.testing.assert_array_equal(nxt[1:-1, 1:-1], w[1:-1, 1:-1])
+
+    def test_torus_wraparound(self, life):
+        # A blinker straddling the edge must wrap, not die.
+        w = _world([(0, 4), (9, 4), (1, 4)], size=10)
+        nxt = life.call("LifeStep", w)
+        assert life.call("LifePopulation", nxt) == 3.0
+
+    def test_scalar_path_agrees(self):
+        # The Life step also runs through the exact per-index evaluator.
+        slow = SacProgram.from_file(
+            SOURCE, options=CompileOptions(vectorize=False, optimize=False)
+        )
+        fast = SacProgram.from_file(SOURCE)
+        w = _world([(1, 2), (2, 3), (3, 1), (3, 2), (3, 3)], size=6)
+        np.testing.assert_array_equal(
+            slow.call("LifeStep", w), fast.call("LifeStep", w)
+        )

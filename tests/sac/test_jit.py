@@ -1,0 +1,98 @@
+"""Tests for the runtime JIT (codegen-backed shape specialization)."""
+
+import numpy as np
+import pytest
+
+from repro.sac import CompileOptions, SacProgram
+
+
+def make(src, threshold=2):
+    return SacProgram.from_source(
+        src, options=CompileOptions(jit=True, jit_threshold=threshold)
+    )
+
+
+class TestJitBasics:
+    SRC = ("double[+] twice(double[+] a) { return with (. <= iv <= .) "
+           "modarray(a, 2.0 * a[iv]); }")
+
+    def test_compiles_after_threshold(self):
+        prog = make(self.SRC, threshold=3)
+        a = np.arange(4.0)
+        for i in range(2):
+            prog.call("twice", a)
+            assert prog.interp.jit_compiled_count == 0
+        prog.call("twice", a)
+        assert prog.interp.jit_compiled_count == 1
+
+    def test_results_unchanged_by_jit(self):
+        plain = SacProgram.from_source(self.SRC)
+        jit = make(self.SRC, threshold=1)
+        a = np.arange(8.0)
+        want = plain.call("twice", a)
+        for _ in range(3):
+            np.testing.assert_array_equal(jit.call("twice", a), want)
+
+    def test_separate_specializations_per_shape(self):
+        prog = make(self.SRC, threshold=1)
+        prog.call("twice", np.arange(4.0))
+        prog.call("twice", np.arange(6.0))
+        assert prog.interp.jit_compiled_count == 2
+        np.testing.assert_array_equal(
+            prog.call("twice", np.arange(4.0)), 2 * np.arange(4.0)
+        )
+
+    def test_scalar_args_key_by_value(self):
+        src = "double f(double[.] a, int k) { return a[[k]]; }"
+        prog = make(src, threshold=1)
+        a = np.arange(4.0)
+        assert prog.call("f", a, 1) == 1.0
+        assert prog.call("f", a, 2) == 2.0  # distinct specialization
+        assert prog.call("f", a, 1) == 1.0  # cached one still right
+        assert prog.interp.jit_compiled_count == 2
+
+
+class TestJitFallbacks:
+    def test_unsupported_function_stays_interpreted(self):
+        # Data-dependent branch: codegen refuses, interpreter serves.
+        src = ("double f(double[.] a) { if (a[[0]] > 0.0) { return 1.0; } "
+               "return 0.0; }")
+        prog = make(src, threshold=1)
+        assert prog.call("f", np.array([1.0])) == 1.0
+        assert prog.call("f", np.array([-1.0])) == 0.0
+        assert prog.interp.jit_compiled_count == 0
+
+    def test_abstract_context_never_jits(self):
+        # A helper called from inside a WITH-loop body sees abstract
+        # arguments; the JIT must skip those call sites but the program
+        # still runs.
+        src = (
+            "inline double h(double x) { return 2.0 * x; }\n"
+            "double[.] f(double[.] a) { return with (. <= iv <= .) "
+            "modarray(a, h(a[iv])); }"
+        )
+        prog = SacProgram.from_source(
+            src,
+            options=CompileOptions(jit=True, jit_threshold=1, optimize=False),
+        )
+        a = np.arange(4.0)
+        for _ in range(3):
+            np.testing.assert_array_equal(prog.call("f", a), 2 * a)
+
+    def test_jit_off_by_default(self):
+        prog = SacProgram.from_source(TestJitBasics.SRC)
+        a = np.arange(4.0)
+        for _ in range(5):
+            prog.call("twice", a)
+        assert prog.interp.jit_compiled_count == 0
+
+
+class TestJitMG:
+    def test_mg_class_t_verifies_and_compiles(self):
+        from repro.mg_sac import load_mg_program, solve_sac_mg
+
+        res = solve_sac_mg("T", jit=True)
+        ref = solve_sac_mg("T")
+        assert res.rnm2 == pytest.approx(ref.rnm2, rel=1e-12)
+        prog = load_mg_program(True, True, (), True)
+        assert prog.interp.jit_compiled_count > 0

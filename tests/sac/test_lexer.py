@@ -1,0 +1,92 @@
+"""Tests for the SAC tokenizer."""
+
+import pytest
+
+from repro.sac.errors import SacSyntaxError
+from repro.sac.lexer import tokenize
+from repro.sac.tokens import TokenKind as T
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)][:-1]  # drop EOF
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is T.EOF
+
+    def test_integers(self):
+        toks = tokenize("0 42 123456")
+        assert [t.kind for t in toks[:-1]] == [T.INT] * 3
+        assert [t.text for t in toks[:-1]] == ["0", "42", "123456"]
+
+    def test_doubles(self):
+        assert kinds("1.5 0.25 2e10 3.1e-2") == [T.DOUBLE] * 4
+
+    def test_int_followed_by_dot_bound(self):
+        # '2.' in generator context must lex INT DOT, not a double.
+        assert kinds("2 .") == [T.INT, T.DOT]
+
+    def test_dot_not_a_double(self):
+        assert kinds(".") == [T.DOT]
+
+    def test_identifiers_and_keywords(self):
+        toks = tokenize("foo if else with genarray iv2 _x")
+        assert [t.kind for t in toks[:-1]] == [
+            T.IDENT, T.KW_IF, T.KW_ELSE, T.KW_WITH, T.KW_GENARRAY,
+            T.IDENT, T.IDENT,
+        ]
+
+    def test_operators(self):
+        assert kinds("+ - * / % == != <= >= < > && || ! = += -=") == [
+            T.PLUS, T.MINUS, T.STAR, T.SLASH, T.PERCENT, T.EQ, T.NE,
+            T.LE, T.GE, T.LT, T.GT, T.AND, T.OR, T.NOT, T.ASSIGN,
+            T.PLUS_ASSIGN, T.MINUS_ASSIGN,
+        ]
+
+    def test_punctuation(self):
+        assert kinds("( ) { } [ ] , ;") == [
+            T.LPAREN, T.RPAREN, T.LBRACE, T.RBRACE, T.LBRACKET,
+            T.RBRACKET, T.COMMA, T.SEMI,
+        ]
+
+    def test_double_bracket_selection(self):
+        # a[[0]] lexes as IDENT [ [ INT ] ]
+        assert kinds("a[[0]]") == [
+            T.IDENT, T.LBRACKET, T.LBRACKET, T.INT, T.RBRACKET, T.RBRACKET,
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 // comment\n2") == [T.INT, T.INT]
+
+    def test_block_comment(self):
+        assert kinds("1 /* a\nb */ 2") == [T.INT, T.INT]
+
+    def test_unterminated_block(self):
+        with pytest.raises(SacSyntaxError):
+            tokenize("/* oops")
+
+
+class TestPositions:
+    def test_line_and_column(self):
+        toks = tokenize("a\n  b")
+        assert toks[0].pos.line == 1 and toks[0].pos.col == 1
+        assert toks[1].pos.line == 2 and toks[1].pos.col == 3
+
+    def test_filename_carried(self):
+        toks = tokenize("x", filename="foo.sac")
+        assert toks[0].pos.filename == "foo.sac"
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(SacSyntaxError) as err:
+            tokenize("a @ b")
+        assert "@" in str(err.value)
+
+    def test_bool_literals(self):
+        assert kinds("true false") == [T.KW_TRUE, T.KW_FALSE]

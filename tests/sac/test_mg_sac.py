@@ -1,0 +1,124 @@
+"""End-to-end tests of the SAC-language MG program."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FortranMG
+from repro.core import comm3, make_grid, relax_naive, resid, rprj3
+from repro.core.stencils import A_COEFFS, P_COEFFS, S_COEFFS_A
+from repro.mg_sac import load_mg_program, mg_source_path, solve_sac_mg
+
+
+@pytest.fixture(scope="module")
+def prog():
+    return load_mg_program(True, True)
+
+
+def _random_periodic(m, seed=0):
+    rng = np.random.default_rng(seed)
+    u = make_grid(m)
+    u[1:-1, 1:-1, 1:-1] = rng.standard_normal((m, m, m))
+    return comm3(u)
+
+
+class TestPieces:
+    def test_setup_periodic_border_matches_comm3(self, prog):
+        rng = np.random.default_rng(1)
+        a = make_grid(4)
+        a[1:-1, 1:-1, 1:-1] = rng.standard_normal((4, 4, 4))
+        got = prog.call("SetupPeriodicBorder", a)
+        np.testing.assert_array_equal(got, comm3(a.copy()))
+
+    def test_relax_kernel_matches_naive(self, prog):
+        u = _random_periodic(4, 2)
+        got = prog.call("RelaxKernel", u, np.asarray(S_COEFFS_A))
+        ref = relax_naive(u, S_COEFFS_A)
+        np.testing.assert_allclose(
+            got[1:-1, 1:-1, 1:-1], ref[1:-1, 1:-1, 1:-1],
+            rtol=1e-12, atol=1e-14,
+        )
+        # Boundary kept (modarray semantics).
+        np.testing.assert_array_equal(got[0], u[0])
+
+    def test_resid_is_stencil_application(self, prog):
+        u = _random_periodic(4, 3)
+        got = prog.call("Resid", u)
+        ref = relax_naive(comm3(u.copy()), A_COEFFS)
+        np.testing.assert_allclose(
+            got[1:-1, 1:-1, 1:-1], ref[1:-1, 1:-1, 1:-1],
+            rtol=1e-12, atol=1e-14,
+        )
+
+    def test_fine2coarse_matches_rprj3(self, prog):
+        r = _random_periodic(8, 4)
+        got = prog.call("Fine2Coarse", r)
+        ref = rprj3(r)
+        np.testing.assert_allclose(
+            got[1:-1, 1:-1, 1:-1], ref[1:-1, 1:-1, 1:-1],
+            rtol=1e-12, atol=1e-13,
+        )
+
+    def test_coarse2fine_matches_interp(self, prog):
+        from repro.core import interp_add
+
+        z = _random_periodic(4, 5)
+        u = make_grid(8)
+        interp_add(z, u)
+        got = prog.call("Coarse2Fine", z)
+        np.testing.assert_allclose(
+            got[1:-1, 1:-1, 1:-1], u[1:-1, 1:-1, 1:-1],
+            rtol=1e-12, atol=1e-13,
+        )
+
+    def test_interior(self, prog):
+        a = _random_periodic(4, 6)
+        np.testing.assert_array_equal(
+            prog.call("Interior", a), a[1:-1, 1:-1, 1:-1]
+        )
+
+    def test_unit_vector(self, prog):
+        np.testing.assert_array_equal(prog.call("unit", 1, 3), [0, 1, 0])
+
+    def test_coefficients(self, prog):
+        np.testing.assert_allclose(prog.call("CoeffA"), A_COEFFS, rtol=1e-15)
+        np.testing.assert_allclose(prog.call("CoeffP"), P_COEFFS, rtol=1e-15)
+
+
+class TestVCycle:
+    def test_vcycle_base_case_is_smooth(self, prog):
+        r = _random_periodic(2, 7)
+        got = prog.call("VCycle", r)
+        ref = prog.call("Smooth", r)
+        np.testing.assert_array_equal(got, ref)
+
+    def test_mgrid_reduces_residual(self, prog):
+        from repro.core import norm2u3, zran3
+
+        v = zran3(8)
+        r = prog.call("FinalResidual", v, 2)
+        assert norm2u3(r)[0] < norm2u3(v)[0]
+
+
+class TestEndToEnd:
+    def test_class_t_matches_fortran_port(self):
+        sac = solve_sac_mg("T")
+        f77 = FortranMG().solve("T")
+        assert sac.rnm2 == pytest.approx(f77.rnm2, rel=1e-9)
+
+    def test_class_s_official_verification(self):
+        res = solve_sac_mg("S")
+        assert res.verified
+
+    def test_unoptimized_matches(self):
+        a = solve_sac_mg("T", nit=2, optimize=False)
+        b = solve_sac_mg("T", nit=2, optimize=True)
+        assert a.rnm2 == pytest.approx(b.rnm2, rel=1e-10)
+
+    def test_source_file_exists(self):
+        assert mg_source_path().exists()
+        text = mg_source_path().read_text()
+        assert "VCycle" in text and "MGrid" in text
+
+    def test_class_b_smoother_rejected(self):
+        with pytest.raises(ValueError):
+            solve_sac_mg("B")

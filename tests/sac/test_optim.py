@@ -1,0 +1,354 @@
+"""Tests for the optimizer passes: each pass must preserve semantics and
+actually perform its transformation."""
+
+import numpy as np
+import pytest
+
+from repro.sac import CompileOptions, SacProgram
+from repro.sac.ast_nodes import Assign, BinOp, Call, Select, Var, WithLoop
+from repro.sac.optim import (
+    PassOptions,
+    coeffgroup_pass,
+    constfold_pass,
+    dce_pass,
+    inline_pass,
+    optimize_program,
+    unroll_pass,
+    wlfold_pass,
+)
+from repro.sac.optim.rewrite import ast_equal, ast_key, substitute, walk_exprs
+from repro.sac.parser import parse_expression, parse_program
+from repro.sac.stdlib import load_prelude
+
+
+def opt_and_run(src, fname, *args, passes=None):
+    """Run a function with and without optimization; results must agree."""
+    plain = SacProgram.from_source(src, options=CompileOptions(optimize=False))
+    overrides = tuple((passes or {}).items())
+    opted = SacProgram.from_source(
+        src, options=CompileOptions(optimize=True, pass_overrides=overrides)
+    )
+    a = plain.call(fname, *args)
+    b = opted.call(fname, *args)
+    if isinstance(a, np.ndarray):
+        np.testing.assert_allclose(b, a, rtol=1e-12, atol=1e-14)
+    else:
+        assert b == pytest.approx(a, rel=1e-12)
+    return opted
+
+
+class TestRewriteUtils:
+    def test_ast_equal_ignores_positions(self):
+        a = parse_expression("x + 1")
+        b = parse_expression("x  +  1")
+        assert ast_equal(a, b)
+        assert ast_key(a) == ast_key(b)
+
+    def test_ast_equal_distinguishes(self):
+        assert not ast_equal(parse_expression("x + 1"), parse_expression("x + 2"))
+
+    def test_substitute_simple(self):
+        e = substitute(parse_expression("x + y"), {"x": parse_expression("2 * z")})
+        assert ast_equal(e, parse_expression("2 * z + y"))
+
+    def test_substitute_respects_withloop_binding(self):
+        e = parse_expression("with (. <= iv <= .) genarray(s, iv[[0]])")
+        out = substitute(e, {"iv": parse_expression("other")})
+        # The bound iv must not be replaced.
+        body = out.operation.body
+        assert isinstance(body, Select)
+        assert isinstance(body.array, Var) and body.array.name == "iv"
+
+
+class TestInline:
+    def test_simple_inline(self):
+        src = (
+            "inline int add1(int x) { return x + 1; }\n"
+            "int f(int y) { return add1(add1(y)); }"
+        )
+        p = inline_pass(parse_program(src))
+        f = [fn for fn in p.functions if fn.name == "f"][0]
+        calls = [e for e in walk_exprs(f.body) if isinstance(e, Call)]
+        assert not calls
+
+    def test_inline_with_locals(self):
+        src = (
+            "inline int twice(int x) { t = x + x; return t; }\n"
+            "int f(int y) { return twice(y + 1); }"
+        )
+        assert opt_and_run(src, "f", 5).call("f", 5) == 12
+
+    def test_non_inline_kept(self):
+        src = (
+            "int helper(int x) { return x; }\n"
+            "int f(int y) { return helper(y); }"
+        )
+        p = inline_pass(parse_program(src))
+        f = [fn for fn in p.functions if fn.name == "f"][0]
+        assert any(isinstance(e, Call) for e in walk_exprs(f.body))
+
+    def test_recursive_not_inlined(self):
+        src = "inline int f(int n) { return f(n); }"
+        p = inline_pass(parse_program(src))
+        body_calls = [
+            e for e in walk_exprs(p.functions[0].body) if isinstance(e, Call)
+        ]
+        assert body_calls  # still calls itself
+
+    def test_inline_inside_withloop_body(self):
+        # The regression that motivated expression-substitution inlining:
+        # an inline call whose body contains a WITH-loop, used inside
+        # another WITH-loop's body.
+        src = (
+            "inline double s3(double[.] a, int[.] iv) {\n"
+            "  s = with ([0] <= ov < [3]) fold(+, 0.0, a[iv + ov - 1]);\n"
+            "  return s;\n"
+            "}\n"
+            "double[+] f(double[.] a) {\n"
+            "  return with ([1] <= iv < shape(a)-1) modarray(a, s3(a, iv));\n"
+            "}"
+        )
+        a = np.array([1.0, 2.0, 3.0, 4.0])
+        opt = opt_and_run(src, "f", a)
+        f = [fn for fn in opt.program.functions if fn.name == "f"][0]
+        assert not any(
+            isinstance(e, Call) and e.name == "s3" for e in walk_exprs(f.body)
+        )
+
+    def test_multiuse_expensive_arg_blocks_inline(self):
+        src = (
+            "inline double both(double x) { return x + x; }\n"
+            "double g(double[.] a) { return sum(a); }\n"
+            "double f(double[.] a) { return both(g(a)); }"
+        )
+        p = inline_pass(parse_program(src))
+        f = [fn for fn in p.functions if fn.name == "f"][0]
+        assert any(
+            isinstance(e, Call) and e.name == "both" for e in walk_exprs(f.body)
+        )
+
+
+class TestConstfold:
+    def _fold_expr(self, expr_src, extra=""):
+        src = f"{extra}\ndouble f() {{ return {expr_src}; }}"
+        p = constfold_pass(parse_program(src))
+        f = [fn for fn in p.functions if fn.name == "f"][0]
+        return f.body.statements[-1].value
+
+    def test_arith(self):
+        from repro.sac.ast_nodes import DoubleLit
+
+        e = self._fold_expr("2.0 * 3.0 + 1.0")
+        assert isinstance(e, DoubleLit) and e.value == 7.0
+
+    def test_negative_literals(self):
+        from repro.sac.ast_nodes import DoubleLit
+
+        e = self._fold_expr("-8.0/3.0")
+        assert isinstance(e, DoubleLit)
+        assert e.value == -8.0 / 3.0
+
+    def test_vector_select(self):
+        from repro.sac.ast_nodes import DoubleLit
+
+        e = self._fold_expr("[1.0, 2.0, 3.0][[1]]")
+        assert isinstance(e, DoubleLit) and e.value == 2.0
+
+    def test_pure_call_evaluated(self):
+        from repro.sac.ast_nodes import DoubleLit
+
+        e = self._fold_expr(
+            "square(3.0)", extra="double square(double x) { return x * x; }"
+        )
+        assert isinstance(e, DoubleLit) and e.value == 9.0
+
+    def test_identity_cleanup(self):
+        e = self._fold_expr("0 + xvar()", extra="double xvar() { return 1.0; }")
+        # The call is pure with no args: it gets evaluated outright.
+        from repro.sac.ast_nodes import DoubleLit
+
+        assert isinstance(e, DoubleLit)
+
+    def test_zero_times_shape_kept(self):
+        # 0 * shape(a) must NOT fold to scalar 0 (it is a vector).
+        src = "int[.] f(double[+] a) { return 0 * shape(a); }"
+        p = constfold_pass(parse_program(src))
+        f = p.functions[0]
+        e = f.body.statements[-1].value
+        assert isinstance(e, BinOp)
+
+    def test_semantics_preserved(self):
+        src = "double f(double x) { return x * (2.0 + 1.0) - [4.0, 5.0][[0]]; }"
+        opt_and_run(src, "f", 2.0)
+
+
+class TestUnroll:
+    SRC = (
+        "double f(double[.] a, int i) {\n"
+        "  s = with ([0] <= ov < [3]) fold(+, 0.0, a[[i + ov[[0]] - 1]]);\n"
+        "  return s;\n"
+        "}"
+    )
+
+    def test_fold_unrolled(self):
+        p = unroll_pass(constfold_pass(parse_program(self.SRC)))
+        f = p.functions[0]
+        wls = [e for e in walk_exprs(f.body) if isinstance(e, WithLoop)]
+        assert not wls
+
+    def test_semantics(self):
+        a = np.array([1.0, 2.0, 4.0, 8.0])
+        opt_and_run(self.SRC, "f", a, 2)
+
+    def test_large_folds_not_unrolled(self):
+        src = ("double f(double[.] a) { return with ([0] <= iv < [1000]) "
+               "fold(+, 0.0, a[iv % [4]]); }")
+        p = unroll_pass(parse_program(src))
+        wls = [e for e in walk_exprs(p.functions[0].body) if isinstance(e, WithLoop)]
+        assert wls  # too big: kept as a loop
+
+
+class TestCoeffGroup:
+    def test_grouping_reduces_multiplies(self):
+        src = (
+            "double f(double[4] c, double[.] u) {\n"
+            "  return c[[0]]*u[[0]] + c[[1]]*u[[1]] + c[[1]]*u[[2]]\n"
+            "       + c[[1]]*u[[3]] + c[[0]]*u[[4]];\n"
+            "}"
+        )
+        p = coeffgroup_pass(parse_program(src))
+        f = p.functions[0]
+        muls = [
+            e for e in walk_exprs(f.body) if isinstance(e, BinOp) and e.op == "*"
+        ]
+        assert len(muls) == 2  # one per distinct coefficient
+
+    def test_semantics(self):
+        src = (
+            "double f(double[4] c, double[.] u) {\n"
+            "  return c[[0]]*u[[0]] + c[[1]]*u[[1]] + c[[1]]*u[[2]]\n"
+            "       + c[[1]]*u[[3]] + c[[0]]*u[[4]];\n"
+            "}"
+        )
+        c = np.array([2.0, 3.0, 0.0, 0.0])
+        u = np.arange(5.0)
+        opt_and_run(src, "f", c, u)
+
+    def test_ungroupable_sum_untouched(self):
+        src = "double f(double a, double b, double c, double d) { return a + b + c + d; }"
+        p = coeffgroup_pass(parse_program(src))
+        opt_and_run(src, "f", 1.0, 2.0, 3.0, 4.0)
+        # No multiplicative structure: expression unchanged.
+        f0 = parse_program(src).functions[0].body.statements[-1].value
+        f1 = p.functions[0].body.statements[-1].value
+        assert ast_equal(f0, f1)
+
+
+class TestWlfold:
+    SRC = (
+        "double[+] f(double[.] a) {\n"
+        "  t = with (. <= iv <= .) genarray(shape(a), a[iv] * 2.0);\n"
+        "  r = with (. <= jv <= .) genarray(shape(a), t[jv] + 1.0);\n"
+        "  return r;\n"
+        "}"
+    )
+
+    def test_producer_folded_away(self):
+        p = dce_pass(wlfold_pass(parse_program(self.SRC)))
+        f = p.functions[0]
+        assigns = [s for s in f.body.statements if isinstance(s, Assign)]
+        assert [s.target for s in assigns] == ["r"]
+
+    def test_semantics(self):
+        a = np.arange(4.0)
+        opt_and_run(self.SRC, "f", a)
+
+    def test_partial_producer_not_folded(self):
+        src = (
+            "double[+] f(double[.] a) {\n"
+            "  t = with ([1] <= iv < shape(a)-1) genarray(shape(a), a[iv]);\n"
+            "  r = with (. <= jv <= .) genarray(shape(a), t[jv] + 1.0);\n"
+            "  return r;\n"
+            "}"
+        )
+        p = wlfold_pass(parse_program(src))
+        f = p.functions[0]
+        assigns = [s.target for s in f.body.statements if isinstance(s, Assign)]
+        assert "t" in assigns  # non-total producer must stay
+
+    def test_whole_array_use_blocks_fold(self):
+        src = (
+            "double[+] f(double[.] a) {\n"
+            "  t = with (. <= iv <= .) genarray(shape(a), a[iv]);\n"
+            "  r = with (. <= jv <= .) modarray(t, t[jv] + 1.0);\n"
+            "  return r;\n"
+            "}"
+        )
+        p = wlfold_pass(parse_program(src))
+        assigns = [
+            s.target for s in p.functions[0].body.statements
+            if isinstance(s, Assign)
+        ]
+        assert "t" in assigns
+
+    def test_shape_use_eliminated_then_folded(self):
+        src = (
+            "double[+] f(double[.] a) {\n"
+            "  t = with (. <= iv <= .) genarray(shape(a), a[iv] * 2.0);\n"
+            "  r = with ([0] <= jv < shape(t)) genarray(shape(t), t[jv] + 1.0);\n"
+            "  return r;\n"
+            "}"
+        )
+        p = dce_pass(wlfold_pass(parse_program(src)))
+        assigns = [
+            s.target for s in p.functions[0].body.statements
+            if isinstance(s, Assign)
+        ]
+        assert assigns == ["r"]
+        opt_and_run(src, "f", np.arange(4.0))
+
+
+class TestDce:
+    def test_dead_assignment_removed(self):
+        src = "int f() { x = 1; y = 2; return y; }"
+        p = dce_pass(parse_program(src))
+        assigns = [
+            s for s in p.functions[0].body.statements if isinstance(s, Assign)
+        ]
+        assert [s.target for s in assigns] == ["y"]
+
+    def test_chain_of_dead_removed(self):
+        src = "int f() { a = 1; b = a + 1; return 7; }"
+        p = dce_pass(parse_program(src))
+        assigns = [
+            s for s in p.functions[0].body.statements if isinstance(s, Assign)
+        ]
+        assert not assigns
+
+    def test_loop_variables_kept(self):
+        src = ("int f(int n) { s = 0; for (i = 0; i < n; i += 1) { s += i; } "
+               "return s; }")
+        p = dce_pass(parse_program(src))
+        assert opt_and_run(src, "f", 5).call("f", 5) == 10
+
+
+class TestFullPipeline:
+    def test_pass_options_toggle(self):
+        opts = PassOptions(coeffgroup=False)
+        assert "coeffgroup" not in opts.enabled()
+        assert "inline" in opts.enabled()
+
+    def test_none_options(self):
+        prog = load_prelude()
+        out = optimize_program(prog, PassOptions.none())
+        assert out is prog or len(out.functions) == len(prog.functions)
+
+    def test_mg_program_every_single_pass_off(self):
+        # Flipping each pass off must not change the MG result.
+        from repro.mg_sac import solve_sac_mg
+
+        base = solve_sac_mg("T", nit=1)
+        for name in ("inline", "constfold", "wlfold", "unroll", "coeffgroup",
+                      "dce"):
+            res = solve_sac_mg("T", nit=1, pass_overrides=((name, False),))
+            assert res.rnm2 == pytest.approx(base.rnm2, rel=1e-10), name

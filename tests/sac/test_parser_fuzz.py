@@ -1,0 +1,70 @@
+"""Hypothesis-generated expression fuzzing for the parser and printer.
+
+Random well-formed expressions must round-trip through
+``pprint(parse(.))`` structurally unchanged, and evaluating a printed
+expression must give the same value as the original.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sac import CompileOptions, SacProgram
+from repro.sac.optim.rewrite import ast_equal
+from repro.sac.parser import parse_expression
+from repro.sac.pprint import pprint_expr
+
+# Leaf expressions over two scalar variables and one vector variable.
+_LEAVES = st.sampled_from(
+    ["x", "y", "1", "2", "3", "1.5", "0.25", "v[[0]]", "v[[1]]"]
+)
+
+
+@st.composite
+def expr_text(draw, depth: int = 0) -> str:
+    if depth >= 4 or draw(st.booleans()):
+        return draw(_LEAVES)
+    kind = draw(st.sampled_from(["bin", "un", "paren", "call"]))
+    if kind == "bin":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        a = draw(expr_text(depth + 1))
+        b = draw(expr_text(depth + 1))
+        return f"{a} {op} {b}"
+    if kind == "un":
+        return f"-({draw(expr_text(depth + 1))})"
+    if kind == "paren":
+        return f"({draw(expr_text(depth + 1))})"
+    a = draw(expr_text(depth + 1))
+    b = draw(expr_text(depth + 1))
+    fn = draw(st.sampled_from(["min", "max"]))
+    return f"{fn}({a}, {b})"
+
+
+class TestFuzzRoundTrip:
+    @given(expr_text())
+    @settings(max_examples=150, deadline=None)
+    def test_parse_print_parse(self, text):
+        e = parse_expression(text)
+        printed = pprint_expr(e)
+        again = parse_expression(printed)
+        assert ast_equal(e, again), (text, printed)
+
+    @given(expr_text(), st.floats(-5, 5), st.floats(-5, 5),
+           st.integers(0, 2 ** 31))
+    @settings(max_examples=80, deadline=None)
+    def test_printed_expression_evaluates_identically(self, text, x, y, seed):
+        rng = np.random.default_rng(seed)
+        v = rng.uniform(-3, 3, size=2)
+        printed = pprint_expr(parse_expression(text))
+
+        def run(body):
+            src = (f"double f(double x, double y, double[.] v) "
+                   f"{{ return tod({body}); }}")
+            prog = SacProgram.from_source(
+                src, options=CompileOptions(optimize=False)
+            )
+            return prog.call("f", float(x), float(y), v)
+
+        a = run(text)
+        b = run(printed)
+        assert (a == b) or (np.isnan(a) and np.isnan(b)), (text, printed)

@@ -1,0 +1,100 @@
+"""Round-trip tests for the pretty-printer: parse(pprint(ast)) must be
+structurally identical to ast."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mg_sac import mg_source_path
+from repro.sac.optim.rewrite import ast_equal
+from repro.sac.parser import parse_expression, parse_program
+from repro.sac.pprint import pprint_expr, pprint_program
+from repro.sac.stdlib import PRELUDE_SOURCE
+
+
+def roundtrip_expr(src: str) -> None:
+    e = parse_expression(src)
+    printed = pprint_expr(e)
+    again = parse_expression(printed)
+    assert ast_equal(e, again), printed
+
+
+def roundtrip_program(src: str) -> None:
+    p = parse_program(src)
+    printed = pprint_program(p)
+    again = parse_program(printed)
+    assert ast_equal(p, again), printed
+
+
+class TestExpressions:
+    @pytest.mark.parametrize(
+        "src",
+        [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "a - b - c",
+            "a - (b - c)",
+            "a / b / c",
+            "a / (b * c)",
+            "-x * y",
+            "-(x * y)",
+            "!a && b || c",
+            "a == b && c < d",
+            "(a == b) == c",
+            "f(x, g(y), [1, 2])",
+            "a[iv]",
+            "a[[1, 2]][0]",
+            "shape(r)[[0]] > 2 + 2",
+            "[1.5, 2.0, 3.25]",
+            "[[1, 2], [3, 4]]",
+            "with (. <= iv <= .) genarray(shp, a[iv])",
+            "with (0*shape(u)+1 <= iv < shape(u)-1) modarray(u, 0.0)",
+            "with ([0,0,0] <= ov < [3,3,3]) fold(+, 0.0, c[dist(ov)] * u[iv+ov-1])",
+            "with (. <= iv <= . step 2 width 1) genarray(s, a[iv/2])",
+            "with ([0] <= i < [9]) fold(max, 0.0, a[i])",
+        ],
+    )
+    def test_roundtrip(self, src):
+        roundtrip_expr(src)
+
+    def test_double_literal_keeps_dot(self):
+        assert pprint_expr(parse_expression("1.0")) == "1.0"
+
+    def test_minimal_parens(self):
+        assert pprint_expr(parse_expression("1 + 2 * 3")) == "1 + 2 * 3"
+        assert pprint_expr(parse_expression("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    @given(st.integers(-10, 10), st.integers(-10, 10), st.integers(1, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_arith_roundtrip_property(self, a, b, c):
+        roundtrip_expr(f"({a}) * x + ({b}) - y / ({c})")
+
+
+class TestPrograms:
+    def test_simple_function(self):
+        roundtrip_program("inline int f(int x, double[+] a) "
+                          "{ y = x + 1; return y; }")
+
+    def test_control_flow(self):
+        roundtrip_program(
+            "int f(int n) { s = 0; "
+            "for (i = 0; i < n; i += 1) { if (i % 2 == 0) { s += i; } "
+            "else { s -= i; } } while (s < 0) { s += n; } return s; }"
+        )
+
+    def test_prelude_roundtrips(self):
+        roundtrip_program(PRELUDE_SOURCE)
+
+    def test_mg_program_roundtrips(self):
+        roundtrip_program(mg_source_path().read_text())
+
+    def test_roundtripped_program_still_runs(self):
+        from repro.sac import SacProgram
+
+        src = ("double[+] f(double[+] a) { return with (. <= iv <= .) "
+               "modarray(a, 2.0 * a[iv]); }")
+        import numpy as np
+
+        printed = pprint_program(parse_program(src))
+        out = SacProgram.from_source(printed).call("f", np.arange(3.0))
+        np.testing.assert_array_equal(out, [0.0, 2.0, 4.0])

@@ -1,0 +1,88 @@
+"""Tests for the APL-flavoured prelude extensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sac import SacProgram
+
+
+@pytest.fixture(scope="module")
+def prelude():
+    return SacProgram.from_source("")
+
+
+class TestIota:
+    def test_basic(self, prelude):
+        np.testing.assert_array_equal(prelude.call("iota", 5), np.arange(5))
+
+    def test_empty(self, prelude):
+        assert prelude.call("iota", 0).shape == (0,)
+
+
+class TestReverseDrop:
+    @given(st.integers(1, 12), st.integers(0, 2 ** 31))
+    @settings(max_examples=25, deadline=None)
+    def test_reverse_involution(self, n, seed):
+        prog = SacProgram.from_source("")
+        v = np.random.default_rng(seed).standard_normal(n)
+        np.testing.assert_array_equal(
+            prog.call("reverse", prog.call("reverse", v)), v
+        )
+
+    def test_reverse_matches_numpy(self, prelude):
+        v = np.arange(7.0)
+        np.testing.assert_array_equal(prelude.call("reverse", v), v[::-1])
+
+    @given(st.integers(0, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_take_drop_partition(self, k):
+        prog = SacProgram.from_source("")
+        v = np.arange(6.0)
+        head = prog.call("take", np.array([k]), v)
+        tail = prog.call("drop", k, v)
+        np.testing.assert_array_equal(np.concatenate([head, tail]), v)
+
+
+class TestTransposeOuter:
+    @given(st.integers(1, 5), st.integers(1, 5), st.integers(0, 2 ** 31))
+    @settings(max_examples=25, deadline=None)
+    def test_transpose_matches_numpy(self, r, c, seed):
+        prog = SacProgram.from_source("")
+        m = np.random.default_rng(seed).standard_normal((r, c))
+        np.testing.assert_array_equal(prog.call("transpose", m), m.T)
+
+    def test_double_transpose_identity(self, prelude):
+        m = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(
+            prelude.call("transpose", prelude.call("transpose", m)), m
+        )
+
+    def test_outer_matches_numpy(self, prelude):
+        a = np.array([1.0, 2.0, 3.0])
+        b = np.array([4.0, 5.0])
+        np.testing.assert_array_equal(
+            prelude.call("outer", a, b), np.outer(a, b)
+        )
+
+    def test_outer_transpose_symmetry(self, prelude):
+        a = np.array([1.0, 2.0])
+        b = np.array([3.0, 4.0, 5.0])
+        ab = prelude.call("outer", a, b)
+        ba = prelude.call("outer", b, a)
+        np.testing.assert_array_equal(prelude.call("transpose", ab), ba)
+
+
+class TestClamp:
+    def test_bounds(self, prelude):
+        out = prelude.call("clamp", -1.0, 1.0,
+                           np.array([[-5.0, 0.0], [0.5, 9.0]]))
+        np.testing.assert_array_equal(out, [[-1.0, 0.0], [0.5, 1.0]])
+
+    def test_idempotent(self, prelude):
+        a = np.array([-2.0, 0.3, 4.0])
+        once = prelude.call("clamp", 0.0, 1.0, a)
+        np.testing.assert_array_equal(
+            prelude.call("clamp", 0.0, 1.0, once), once
+        )

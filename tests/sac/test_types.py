@@ -1,0 +1,80 @@
+"""Tests for the shape-polymorphic type lattice."""
+
+import pytest
+
+from repro.sac.sactypes import BOOL, DOUBLE, INT, BaseType, SacType, ShapeKind
+
+
+class TestConstruction:
+    def test_scalar(self):
+        assert INT.rank == 0
+        assert str(INT) == "int"
+
+    def test_aks(self):
+        t = SacType.aks(BaseType.DOUBLE, (3, 3))
+        assert t.rank == 2
+        assert str(t) == "double[3,3]"
+
+    def test_akd(self):
+        t = SacType.akd(BaseType.INT, 2)
+        assert t.rank == 2
+        assert str(t) == "int[.,.]"
+
+    def test_aud(self):
+        assert str(SacType.aud_plus(BaseType.DOUBLE)) == "double[+]"
+        assert str(SacType.aud_star(BaseType.DOUBLE)) == "double[*]"
+
+    def test_aks_requires_shape(self):
+        with pytest.raises(ValueError):
+            SacType(BaseType.INT, ShapeKind.AKS)
+
+    def test_akd_requires_rank(self):
+        with pytest.raises(ValueError):
+            SacType(BaseType.INT, ShapeKind.AKD)
+
+
+class TestAccepts:
+    def test_base_type_must_match(self):
+        assert not SacType.aud_star(BaseType.INT).accepts(
+            SacType.aks(BaseType.DOUBLE, (3,))
+        )
+
+    def test_aud_star_accepts_everything(self):
+        t = SacType.aud_star(BaseType.DOUBLE)
+        assert t.accepts(DOUBLE)
+        assert t.accepts(SacType.aks(BaseType.DOUBLE, ()))
+        assert t.accepts(SacType.aks(BaseType.DOUBLE, (2, 2, 2)))
+
+    def test_aud_plus_rejects_scalars(self):
+        t = SacType.aud_plus(BaseType.DOUBLE)
+        assert not t.accepts(DOUBLE)
+        assert t.accepts(SacType.aks(BaseType.DOUBLE, (4,)))
+
+    def test_akd_matches_rank_only(self):
+        t = SacType.akd(BaseType.INT, 1)
+        assert t.accepts(SacType.aks(BaseType.INT, (7,)))
+        assert not t.accepts(SacType.aks(BaseType.INT, (2, 2)))
+        assert not t.accepts(INT)
+
+    def test_aks_exact_shape(self):
+        t = SacType.aks(BaseType.DOUBLE, (4,))
+        assert t.accepts(SacType.aks(BaseType.DOUBLE, (4,)))
+        assert not t.accepts(SacType.aks(BaseType.DOUBLE, (5,)))
+
+    def test_scalar_accepts_scalar_only(self):
+        assert INT.accepts(INT)
+        assert not INT.accepts(SacType.aks(BaseType.INT, (1,)))
+
+
+class TestSpecificity:
+    def test_ordering(self):
+        aks = SacType.aks(BaseType.DOUBLE, (4,))
+        akd = SacType.akd(BaseType.DOUBLE, 1)
+        plus = SacType.aud_plus(BaseType.DOUBLE)
+        star = SacType.aud_star(BaseType.DOUBLE)
+        assert aks.specificity() < akd.specificity() < plus.specificity() \
+            < star.specificity()
+
+    def test_bool_distinct(self):
+        assert BOOL.base is BaseType.BOOL
+        assert not BOOL.accepts(INT)

@@ -1,0 +1,161 @@
+"""Tests for the abstract value machinery (AffineAxis / IndexView /
+SpaceValue) and the C-semantics integer arithmetic helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sac.builtins import int_div, int_mod
+from repro.sac.errors import SacTypeError
+from repro.sac.values import (
+    AbstractUnsupported,
+    AffineAxis,
+    IndexView,
+    SpaceValue,
+    as_index_vector,
+    coerce_value,
+    value_type,
+)
+
+
+class TestAffineAxis:
+    def test_values(self):
+        ax = AffineAxis(offset=2, stride=3, count=4)
+        np.testing.assert_array_equal(ax.values(), [2, 5, 8, 11])
+
+    def test_add_mul(self):
+        ax = AffineAxis(1, 2, 3)
+        np.testing.assert_array_equal(ax.add(10).values(), [11, 13, 15])
+        np.testing.assert_array_equal(ax.mul(2).values(), [2, 6, 10])
+
+    def test_exact_floordiv(self):
+        ax = AffineAxis(0, 4, 3)
+        np.testing.assert_array_equal(ax.floordiv(2).values(), [0, 2, 4])
+
+    def test_inexact_floordiv_rejected(self):
+        with pytest.raises(AbstractUnsupported):
+            AffineAxis(1, 2, 3).floordiv(2)
+        with pytest.raises(AbstractUnsupported):
+            AffineAxis(0, 3, 3).floordiv(2)
+
+    def test_as_slice(self):
+        ax = AffineAxis(1, 2, 4)  # 1,3,5,7
+        assert ax.as_slice(9) == slice(1, 8, 2)
+
+    def test_as_slice_bounds_checked(self):
+        with pytest.raises(AbstractUnsupported):
+            AffineAxis(1, 2, 4).as_slice(7)  # last index 7 >= extent 7
+        with pytest.raises(AbstractUnsupported):
+            AffineAxis(-1, 1, 2).as_slice(5)
+
+    @given(st.integers(0, 5), st.integers(1, 4), st.integers(1, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_slice_equals_values(self, off, stride, count):
+        ax = AffineAxis(off, stride, count)
+        extent = off + stride * (count - 1) + 1
+        base = np.arange(extent + 3)
+        np.testing.assert_array_equal(base[ax.as_slice(len(base))],
+                                      ax.values())
+
+
+class TestIndexView:
+    def _iv(self):
+        return IndexView((AffineAxis(1, 1, 3), AffineAxis(0, 2, 4)))
+
+    def test_rank_and_dims(self):
+        iv = self._iv()
+        assert iv.rank == 2
+        assert iv.space_dims == (3, 4)
+
+    def test_materialize(self):
+        iv = self._iv()
+        m = iv.materialize()
+        assert m.space_dims == (3, 4)
+        assert m.cell_shape == (2,)
+        np.testing.assert_array_equal(m.data[0, 0], [1, 0])
+        np.testing.assert_array_equal(m.data[2, 3], [3, 6])
+
+    def test_vector_offset(self):
+        iv = self._iv().add(np.array([10, 20]))
+        m = iv.materialize()
+        np.testing.assert_array_equal(m.data[0, 0], [11, 20])
+
+    def test_componentwise_scale(self):
+        iv = self._iv().mul(np.array([2, 3]))
+        assert iv.axes[0].stride == 2
+        assert iv.axes[1].stride == 6
+
+    def test_bad_operand_raises(self):
+        with pytest.raises(AbstractUnsupported):
+            self._iv().add(np.array([1, 2, 3]))  # wrong length
+        with pytest.raises(AbstractUnsupported):
+            self._iv().add(1.5)  # not an int
+
+
+class TestSpaceValue:
+    def test_shapes(self):
+        sv = SpaceValue(np.zeros((3, 4, 2)), space_ndim=2)
+        assert sv.space_dims == (3, 4)
+        assert sv.cell_shape == (2,)
+
+
+class TestValueTyping:
+    def test_scalars(self):
+        assert str(value_type(1)) == "int"
+        assert str(value_type(1.5)) == "double"
+        assert str(value_type(True)) == "bool"
+
+    def test_arrays(self):
+        assert str(value_type(np.zeros((2, 3)))) == "double[2,3]"
+        assert str(value_type(np.zeros(3, dtype=np.int64))) == "int[3]"
+
+    def test_unsupported(self):
+        with pytest.raises(SacTypeError):
+            value_type("hello")
+        with pytest.raises(SacTypeError):
+            value_type(np.zeros(2, dtype=np.complex128))
+
+    def test_coerce_numpy_scalars(self):
+        assert coerce_value(np.int64(3)) == 3
+        assert type(coerce_value(np.int64(3))) is int
+        assert type(coerce_value(np.float64(1.5))) is float
+        assert type(coerce_value(np.bool_(True))) is bool
+        assert coerce_value(np.array(7.0)) == 7.0
+
+    def test_as_index_vector(self):
+        np.testing.assert_array_equal(as_index_vector(2, 3), [2, 2, 2])
+        v = np.array([1, 2], dtype=np.int64)
+        assert as_index_vector(v, None) is v
+        with pytest.raises(SacTypeError):
+            as_index_vector(np.array([1.0, 2.0]), None)
+
+
+class TestCIntegerSemantics:
+    """int_div/int_mod must match C's truncation-toward-zero exactly."""
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_c(self, a, b):
+        if b == 0:
+            return
+        # C: (a/b)*b + a%b == a, with a/b truncated toward zero.
+        q = int_div(a, b)
+        r = int_mod(a, b)
+        assert q == int(a / b) if b != 0 else True  # float trunc == C here
+        assert q * b + r == a
+        assert abs(r) < abs(b)
+        # Remainder takes the dividend's sign (or zero).
+        assert r == 0 or (r > 0) == (a > 0)
+
+    def test_arrays(self):
+        a = np.array([7, -7, 7, -7], dtype=np.int64)
+        b = np.array([2, 2, -2, -2], dtype=np.int64)
+        np.testing.assert_array_equal(int_div(a, b), [3, -3, -3, 3])
+        np.testing.assert_array_equal(int_mod(a, b), [1, -1, 1, -1])
+
+    def test_zero_division(self):
+        from repro.sac.errors import SacRuntimeError
+
+        with pytest.raises(SacRuntimeError):
+            int_div(1, 0)

@@ -28,13 +28,32 @@ def mg_source_path() -> Path:
 @lru_cache(maxsize=None)
 def load_mg_program(optimize: bool = True, vectorize: bool = True,
                     pass_overrides: tuple[tuple[str, bool], ...] = (),
-                    jit: bool = False) -> SacProgram:
-    """Load (and memoize) the MG program under the given options."""
+                    jit: bool = False,
+                    analyze: bool = True) -> SacProgram:
+    """Load (and memoize) the MG program under the given options.
+
+    ``analyze`` (default on) runs the static analyzer as a build gate:
+    the program must come out free of error-severity findings — in
+    particular, every WITH-loop must be certified race-free for SPMD
+    execution — or :class:`~repro.sac.errors.SacAnalysisError` is
+    raised instead of building an interpreter.
+    """
     options = CompileOptions(
         optimize=optimize, vectorize=vectorize,
-        pass_overrides=pass_overrides, jit=jit,
+        pass_overrides=pass_overrides, jit=jit, analyze=analyze,
     )
-    return SacProgram.from_file(mg_source_path(), options)
+    program = SacProgram.from_file(mg_source_path(), options)
+    report = program.analysis_report
+    if report is not None and not report.spmd_safe:
+        from repro.sac.errors import SacAnalysisError
+
+        unsafe = [c for c in report.certificates if not c.safe]
+        raise SacAnalysisError(
+            "mg.sac WITH-loops failed SPMD certification: "
+            + "; ".join(str(c) for c in unsafe),
+            diagnostics=report.warnings,
+        )
+    return program
 
 
 class SacMGResult:

@@ -7,7 +7,16 @@ Public entry point: :class:`SacProgram`.
     prog.call("f", 41)   # -> 42
 """
 
+from .diagnostics import (
+    CODE_CATALOGUE,
+    Diagnostic,
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+)
 from .errors import (
+    SacAnalysisError,
     SacArityError,
     SacError,
     SacNameError,
@@ -50,6 +59,13 @@ __all__ = [
     "SacNameError",
     "SacArityError",
     "SacRuntimeError",
+    "SacAnalysisError",
+    "Diagnostic",
+    "Severity",
+    "CODE_CATALOGUE",
+    "render_text",
+    "render_json",
+    "render_sarif",
     "SacType",
     "ShapeKind",
     "BaseType",

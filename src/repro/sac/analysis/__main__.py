@@ -1,0 +1,93 @@
+"""Command-line interface of the SAC static analyzer.
+
+    python -m repro.sac.analysis file.sac [file2.sac ...]
+        [--format {text,json,sarif}] [--fail-on {error,warning,never}]
+        [--no-prelude] [--no-lint] [--certificates]
+
+Exit status is 0 when no finding reaches the ``--fail-on`` severity
+(default: error), 1 otherwise, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..diagnostics import (
+    Severity,
+    render_json,
+    render_sarif,
+    render_text,
+)
+from .driver import AnalysisOptions, analyze_file
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.sac.analysis",
+        description="Static shape/partition/race analyzer for SAC "
+                    "programs (error codes SAC0xx-SAC4xx; see "
+                    "docs/ANALYSIS.md).",
+    )
+    p.add_argument("files", nargs="+", metavar="FILE.sac",
+                   help="SAC source files to analyze")
+    p.add_argument("--format", choices=("text", "json", "sarif"),
+                   default="text", help="output format (default: text)")
+    p.add_argument("--fail-on", choices=("error", "warning", "never"),
+                   default="error",
+                   help="lowest severity that causes exit status 1 "
+                        "(default: error)")
+    p.add_argument("--no-prelude", action="store_true",
+                   help="do not link the stdlib prelude before analyzing")
+    p.add_argument("--no-lint", action="store_true",
+                   help="skip the SAC4xx dataflow lints")
+    p.add_argument("--all-functions", action="store_true",
+                   help="also report findings inside the linked prelude")
+    p.add_argument("--certificates", action="store_true",
+                   help="print the per-WITH-loop SPMD certificates "
+                        "(text format only)")
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    fail_on = {"error": Severity.ERROR, "warning": Severity.WARNING,
+               "never": None}[args.fail_on]
+    options = AnalysisOptions(
+        include_prelude=not args.no_prelude,
+        report_prelude=args.all_functions,
+        lint=not args.no_lint,
+        fail_on=fail_on or Severity.ERROR,
+    )
+
+    diagnostics = []
+    certificates = []
+    failed = False
+    for path in args.files:
+        try:
+            report = analyze_file(path, options)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 2
+        diagnostics.extend(report.diagnostics)
+        certificates.extend(report.certificates)
+        if fail_on is not None and any(
+                d.severity >= fail_on for d in report.diagnostics):
+            failed = True
+
+    if args.format == "json":
+        print(render_json(diagnostics))
+    elif args.format == "sarif":
+        print(render_sarif(diagnostics))
+    else:
+        print(render_text(diagnostics))
+        if args.certificates:
+            print()
+            for cert in certificates:
+                print(cert)
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Dataflow-backed lints (``SAC4xx``).
+
+These are the direct clients of the CFG/dataflow framework:
+
+* **SAC401** — an assignment whose value is never read (per def-use
+  chains over reaching definitions).  Parameters are exempt: an unused
+  parameter may be required by overload arity.
+* **SAC402** — statements that can never execute (CFG blocks unreachable
+  from the entry, e.g. code after a ``return``).
+* **SAC403** — a variable read where it is *maybe* but not *must*
+  defined (assigned on some path only).  Reads with no reaching
+  definition at all are left to the typechecker (SAC002) — this lint
+  covers the gap where the typechecker's may-analysis accepts the
+  program but a path exists on which the variable is unbound.
+* **SAC404** — a WITH-loop generator variable shadowing a parameter or
+  assigned variable of the enclosing function.
+
+All are warnings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..ast_nodes import (
+    Assign,
+    BinOp,
+    Block,
+    Call,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    FoldOp,
+    For,
+    FunDef,
+    GenarrayOp,
+    If,
+    ModarrayOp,
+    Program,
+    Return,
+    Select,
+    Stmt,
+    UnOp,
+    VectorLit,
+    While,
+    WithLoop,
+)
+from .cfg import build_cfg
+from .dataflow import def_use_chains, must_defined, reaching_definitions
+
+__all__ = ["lint_function", "lint_program"]
+
+
+def lint_program(program: Program, sink: Callable) -> None:
+    for fun in program.functions:
+        lint_function(fun, sink)
+
+
+def lint_function(fun: FunDef, sink: Callable) -> None:
+    """Run all SAC4xx lints over one function.
+
+    ``sink(code, message, pos, function)`` receives the findings.
+    """
+    cfg = build_cfg(fun)
+    reachable = cfg.reachable()
+    _lint_unreachable(fun, cfg, reachable, sink)
+    _lint_unused(fun, cfg, reachable, sink)
+    _lint_maybe_uninitialized(fun, cfg, reachable, sink)
+    _lint_shadowing(fun, sink)
+
+
+# -- SAC402 -----------------------------------------------------------------
+
+def _lint_unreachable(fun: FunDef, cfg, reachable, sink) -> None:
+    for block in cfg.blocks:
+        if block.id in reachable or not block.actions:
+            continue
+        act = block.actions[0]
+        sink("SAC402", "statement is unreachable", act.pos, fun.name)
+
+
+# -- SAC401 -----------------------------------------------------------------
+
+def _lint_unused(fun: FunDef, cfg, reachable, sink) -> None:
+    chains = def_use_chains(cfg)
+    for site, uses in chains.items():
+        if site.block == -1:  # parameter pseudo-definition
+            continue
+        if site.block not in reachable:
+            continue  # already covered by SAC402
+        if uses:
+            continue
+        act = cfg.blocks[site.block].actions[site.index]
+        sink(
+            "SAC401",
+            f"value assigned to '{site.var}' is never used",
+            act.pos, fun.name,
+        )
+
+
+# -- SAC403 -----------------------------------------------------------------
+
+def _lint_maybe_uninitialized(fun: FunDef, cfg, reachable, sink) -> None:
+    must = must_defined(cfg)
+    reaching = reaching_definitions(cfg)
+    reported: set[str] = set()
+    for block in cfg.blocks:
+        if block.id not in reachable:
+            continue
+        defined = set(must[block.id][0])
+        maybe = {d.var for d in reaching[block.id][0]}
+        for act in block.actions:
+            for name in sorted(act.uses):
+                if name in defined or name in reported:
+                    continue
+                if name not in maybe:
+                    continue  # no def at all: typecheck reports SAC002
+                reported.add(name)
+                sink(
+                    "SAC403",
+                    f"'{name}' may be uninitialized here (assigned on "
+                    f"some paths only)",
+                    act.pos, fun.name,
+                )
+            if act.defines is not None:
+                defined.add(act.defines)
+                maybe.add(act.defines)
+
+
+# -- SAC404 -----------------------------------------------------------------
+
+def _lint_shadowing(fun: FunDef, sink) -> None:
+    outer = {p.name for p in fun.params}
+    _collect_targets(fun.body, outer)
+
+    def walk_expr(expr: Expr) -> None:
+        if isinstance(expr, WithLoop):
+            gen = expr.generator
+            if gen.var in outer:
+                sink(
+                    "SAC404",
+                    f"generator variable '{gen.var}' shadows an outer "
+                    f"binding",
+                    gen.pos or expr.pos, fun.name,
+                )
+            for b in (gen.lower, gen.upper, gen.step, gen.width):
+                if b is not None:
+                    walk_expr(b)
+            op = expr.operation
+            if isinstance(op, GenarrayOp):
+                walk_expr(op.shape)
+                walk_expr(op.body)
+            elif isinstance(op, ModarrayOp):
+                walk_expr(op.array)
+                walk_expr(op.body)
+            elif isinstance(op, FoldOp):
+                walk_expr(op.neutral)
+                walk_expr(op.body)
+        elif isinstance(expr, BinOp):
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, UnOp):
+            walk_expr(expr.operand)
+        elif isinstance(expr, Select):
+            walk_expr(expr.array)
+            walk_expr(expr.index)
+        elif isinstance(expr, Call):
+            for a in expr.args:
+                walk_expr(a)
+        elif isinstance(expr, VectorLit):
+            for e in expr.elements:
+                walk_expr(e)
+
+    def walk_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, Return):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, ExprStmt):
+            walk_expr(stmt.expr)
+        elif isinstance(stmt, Block):
+            for s in stmt.statements:
+                walk_stmt(s)
+        elif isinstance(stmt, If):
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.then)
+            if stmt.orelse is not None:
+                walk_stmt(stmt.orelse)
+        elif isinstance(stmt, (While, DoWhile)):
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, For):
+            walk_stmt(stmt.init)
+            walk_expr(stmt.cond)
+            walk_stmt(stmt.body)
+            walk_stmt(stmt.update)
+
+    walk_stmt(fun.body)
+
+
+def _collect_targets(block: Block, out: set[str]) -> None:
+    for stmt in block.statements:
+        if isinstance(stmt, Assign):
+            out.add(stmt.target)
+        elif isinstance(stmt, Block):
+            _collect_targets(stmt, out)
+        elif isinstance(stmt, If):
+            _collect_targets(stmt.then, out)
+            if stmt.orelse is not None:
+                _collect_targets(stmt.orelse, out)
+        elif isinstance(stmt, (While, DoWhile)):
+            _collect_targets(stmt.body, out)
+        elif isinstance(stmt, For):
+            out.add(stmt.init.target)
+            out.add(stmt.update.target)
+            _collect_targets(stmt.body, out)

@@ -1,0 +1,180 @@
+"""WITH-loop partition checking (``SAC2xx``).
+
+The dialect has single-generator WITH-loops, so the partition induced on
+the index space is the family of step/width blocks: iteration ``iv`` is
+executed iff ``lower <= iv <= upper`` (after inclusivity normalization)
+and ``(iv - lower) % step < width`` on every axis.  Disjointness of the
+blocks therefore reduces to ``width <= step`` per axis, and coverage of
+a ``genarray`` frame to: lower bound 0, upper bound reaching the last
+index, and ``step == width`` (no gaps).
+
+Checks — all *prove-or-stay-silent* over the affine/interval facts
+resolved by :mod:`repro.sac.analysis.shapes`:
+
+* **SAC201** (error) — blocks overlap: ``width > step`` on some axis.
+  The runtime would reject this too ("generator width must be in
+  1..step"), but only once the loop executes; here it is caught before.
+* **SAC202** (warning) — a ``genarray`` generator provably leaves part
+  of the frame uncovered; those cells silently take the default value.
+* **SAC203** (error) — the generator range provably escapes the frame's
+  index space.
+* **SAC204** (warning) — the range is provably empty.
+* **SAC205** (error) — lower/upper bound vectors of different lengths.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .shapes import Affine, WithLoopInfo
+
+_ONE = Affine.of(1)
+
+__all__ = ["PartitionChecker"]
+
+
+class PartitionChecker:
+    """WITH-loop listener emitting SAC2xx diagnostics into ``sink``."""
+
+    def __init__(self, sink: Callable):
+        # sink(code, message, pos, function)
+        self.sink = sink
+
+    def __call__(self, info: WithLoopInfo) -> None:
+        self._check_bound_lengths(info)
+        self._check_overlap(info)
+        self._check_range(info)
+        if info.kind == "genarray":
+            self._check_coverage(info)
+
+    # -- SAC205 ------------------------------------------------------------
+
+    def _check_bound_lengths(self, info: WithLoopInfo) -> None:
+        if (info.lower_len is not None and info.upper_len is not None
+                and info.lower_len != info.upper_len):
+            self.sink(
+                "SAC205",
+                f"generator bounds have lengths {info.lower_len} and "
+                f"{info.upper_len}",
+                info.pos, info.function,
+            )
+
+    # -- SAC201 ------------------------------------------------------------
+
+    def _check_overlap(self, info: WithLoopInfo) -> None:
+        for ax, (s, w) in enumerate(zip(info.step, info.width)):
+            if s is not None and w is not None and w > s:
+                self.sink(
+                    "SAC201",
+                    f"generator width {w} exceeds step {s} along axis "
+                    f"{ax}: iteration blocks overlap",
+                    info.pos, info.function,
+                )
+                return
+
+    # -- SAC203 / SAC204 ---------------------------------------------------
+
+    def _check_range(self, info: WithLoopInfo) -> None:
+        frame = info.frame
+        if info.lower is None or info.upper is None:
+            # Unknown component count: one uniform check against the
+            # frame's per-axis '*' extent symbol.
+            if info.u_lower is not None and info.u_upper is not None:
+                self._check_axis(info, 0, info.u_lower, info.u_upper,
+                                 frame.extent(0) if frame is not None
+                                 and frame.extents is None else None)
+            return
+        for ax in range(min(len(info.lower), len(info.upper))):
+            lo, hi = info.bound_pair(ax)
+            ext = None
+            if frame is not None and (frame.rank is None
+                                      or ax < frame.rank):
+                ext = frame.extent(ax)
+            if self._check_axis(info, ax, lo, hi, ext):
+                return
+
+    def _check_axis(self, info: WithLoopInfo, ax: int,
+                    lo, hi, ext) -> bool:
+        """Check one axis; returns True when a finding was emitted."""
+        # SAC204: lower provably above upper on this axis.
+        if lo.lo is not None and hi.hi is not None \
+                and lo.lo.sub(hi.hi).always_pos():
+            self.sink(
+                "SAC204",
+                f"lower bound {lo.lo} exceeds upper bound {hi.hi} "
+                f"along axis {ax}: the generator range is empty",
+                info.pos, info.function,
+            )
+            return True
+        if ext is None or (info.dot_lower and info.dot_upper):
+            return False
+        # SAC203: the range provably leaves [0, ext-1].
+        if not info.dot_lower and lo.hi is not None \
+                and lo.hi.always_neg():
+            self.sink(
+                "SAC203",
+                f"generator lower bound {lo.hi} is negative along "
+                f"axis {ax}",
+                info.pos, info.function,
+            )
+            return True
+        if not info.dot_upper and hi.lo is not None:
+            over = hi.lo.sub(ext).add(_ONE)
+            if over.always_pos():
+                self.sink(
+                    "SAC203",
+                    f"generator upper bound {hi.lo} reaches past the "
+                    f"frame extent {ext} along axis {ax}",
+                    info.pos, info.function,
+                )
+                return True
+        return False
+
+    # -- SAC202 ------------------------------------------------------------
+
+    def _check_coverage(self, info: WithLoopInfo) -> None:
+        frame = info.frame
+        if frame is None:
+            return
+        # Stride gaps: step > width leaves every block followed by a gap
+        # (provided the range spans more than one block, which we do not
+        # try to prove — a strided genarray is gap-prone by construction).
+        for ax, (s, w) in enumerate(zip(info.step, info.width)):
+            if s is not None and w is not None and s > w:
+                self.sink(
+                    "SAC202",
+                    f"step {s} with width {w} along axis {ax} leaves "
+                    f"gaps; uncovered cells take the default value",
+                    info.pos, info.function,
+                )
+                return
+        if info.dot_lower and info.dot_upper:
+            return  # `.` bounds cover the frame by construction
+        if info.rank is None or info.lower is None or info.upper is None:
+            return
+        for ax in range(min(len(info.lower), len(info.upper))):
+            lo, hi = info.bound_pair(ax)
+            if not info.dot_lower and lo.lo is not None \
+                    and lo.lo.always_pos():
+                self.sink(
+                    "SAC202",
+                    f"generator starts at {lo.lo} along axis {ax}; "
+                    f"indices below it take the default value",
+                    info.pos, info.function,
+                )
+                return
+            ext = frame.extent(ax) if (
+                frame.rank is None or ax < frame.rank) else None
+            if ext is None or info.dot_upper:
+                continue
+            if hi.hi is not None:
+                gap = ext.sub(_ONE).sub(hi.hi)
+                if gap.always_pos():
+                    self.sink(
+                        "SAC202",
+                        f"generator stops at {hi.hi} along axis {ax} "
+                        f"but the frame extends to {ext.sub(_ONE)}; "
+                        f"the tail takes the default value",
+                        info.pos, info.function,
+                    )
+                    return

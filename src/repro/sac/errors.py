@@ -12,6 +12,7 @@ __all__ = [
     "SacNameError",
     "SacRuntimeError",
     "SacArityError",
+    "SacAnalysisError",
 ]
 
 
@@ -54,3 +55,16 @@ class SacArityError(SacError):
 
 class SacRuntimeError(SacError):
     """Error raised while evaluating a SAC program."""
+
+
+class SacAnalysisError(SacError):
+    """Static analysis found error-severity diagnostics.
+
+    Carries the offending findings on ``diagnostics`` (a list of
+    :class:`repro.sac.diagnostics.Diagnostic`).
+    """
+
+    def __init__(self, message: str, diagnostics=(),
+                 pos: SourcePos | None = None):
+        super().__init__(message, pos)
+        self.diagnostics = list(diagnostics)

@@ -32,6 +32,9 @@ class CompileOptions:
     include_prelude: bool = True
     #: Run the static semantic checks before anything else.
     typecheck: bool = True
+    #: Run the full static analyzer (shape/partition/race/lint) and
+    #: refuse to build on error-severity findings.
+    analyze: bool = False
     #: Run the optimization pipeline (inlining, constant folding,
     #: WITH-loop folding, stencil unrolling/grouping, DCE).
     optimize: bool = True
@@ -59,6 +62,21 @@ class SacProgram:
             from .typecheck import check_program
 
             check_program(combined)
+        self.analysis_report = None
+        if self.options.analyze:
+            from .analysis import analyze_program
+            from .errors import SacAnalysisError
+
+            report = analyze_program(combined)
+            self.analysis_report = report
+            if report.errors:
+                listing = "\n".join(f"  {d}" for d in report.errors)
+                raise SacAnalysisError(
+                    f"static analysis found {len(report.errors)} "
+                    f"error(s):\n{listing}",
+                    diagnostics=report.errors,
+                    pos=report.errors[0].pos,
+                )
         if self.options.optimize:
             from .optim.pipeline import PassOptions, optimize_program
 

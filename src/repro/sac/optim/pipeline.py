@@ -14,6 +14,12 @@ Pass order mirrors the SAC compiler's high-level strategy:
 8. **dce** — drop intermediates made dead by folding.
 
 Each pass can be toggled (the ablation benchmarks flip them one by one).
+
+An optional **analyze** gate (off by default) runs the static analyzer
+(:mod:`repro.sac.analysis`) over the input program before any rewriting
+and raises :class:`~repro.sac.errors.SacAnalysisError` on error-severity
+findings, so optimization never proceeds on a program whose WITH-loops
+cannot be certified.
 """
 
 from __future__ import annotations
@@ -46,6 +52,8 @@ class PassOptions:
     coeffgroup: bool = True
     cse: bool = True
     dce: bool = True
+    #: Run the static analyzer first; raise on error-severity findings.
+    analyze: bool = False
 
     @staticmethod
     def none() -> "PassOptions":
@@ -59,6 +67,8 @@ def optimize_program(program: Program,
                      options: PassOptions | None = None) -> Program:
     """Run the enabled passes in pipeline order."""
     opts = options or PassOptions()
+    if opts.analyze:
+        _analysis_gate(program)
     if opts.inline:
         program = inline_pass(program)
     if opts.constfold:
@@ -76,3 +86,19 @@ def optimize_program(program: Program,
     if opts.dce:
         program = dce_pass(program)
     return program
+
+
+def _analysis_gate(program: Program) -> None:
+    """Raise :class:`SacAnalysisError` on error-severity findings."""
+    from ..analysis import analyze_program
+    from ..errors import SacAnalysisError
+
+    report = analyze_program(program)
+    errors = report.errors
+    if errors:
+        listing = "\n".join(f"  {d}" for d in errors)
+        raise SacAnalysisError(
+            f"static analysis found {len(errors)} error(s):\n{listing}",
+            diagnostics=errors,
+            pos=errors[0].pos,
+        )

@@ -116,10 +116,11 @@ class Parser:
     # -- program structure -------------------------------------------------
 
     def parse_program(self) -> Program:
+        pos = self.cur.pos
         funs = []
         while not self.at(T.EOF):
             funs.append(self.parse_fundef())
-        return Program(tuple(funs))
+        return Program(tuple(funs), pos=pos)
 
     def parse_fundef(self) -> FunDef:
         pos = self.cur.pos

@@ -15,14 +15,14 @@ everything at run time; this catches mistakes before any evaluation):
 * ``.`` bounds used outside a WITH-loop generator,
 * fold operations naming unknown functions.
 
-Errors are collected (not raised one at a time) so a whole module's
-problems surface together; :func:`check_program` raises a
-:class:`~repro.sac.errors.SacTypeError` carrying the full list.
+Findings are emitted as coded :class:`~repro.sac.diagnostics.Diagnostic`
+objects (family ``SAC0xx``; see ``docs/ANALYSIS.md``), collected rather
+than raised one at a time so a whole module's problems surface together;
+:func:`check_program` raises a :class:`~repro.sac.errors.SacTypeError`
+carrying the full list.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
 
 from .ast_nodes import (
     Assign,
@@ -37,7 +37,6 @@ from .ast_nodes import (
     For,
     FunDef,
     GenarrayOp,
-    Generator,
     If,
     ModarrayOp,
     Program,
@@ -51,7 +50,9 @@ from .ast_nodes import (
     WithLoop,
 )
 from .builtins import is_builtin
+from .diagnostics import Diagnostic
 from .errors import SacTypeError, SourcePos
+
 from .sactypes import BaseType
 
 __all__ = ["Diagnostic", "check_program", "collect_diagnostics"]
@@ -59,21 +60,11 @@ __all__ = ["Diagnostic", "check_program", "collect_diagnostics"]
 _OPERATOR_FOLDS = {"+", "*"}
 
 
-@dataclass(frozen=True)
-class Diagnostic:
-    """One static error with its position."""
-
-    message: str
-    pos: SourcePos | None = None
-
-    def __str__(self) -> str:
-        return f"{self.pos}: {self.message}" if self.pos else self.message
-
-
 class _Checker:
     def __init__(self, program: Program):
         self.diags: list[Diagnostic] = []
         self.arities: dict[str, set[int]] = {}
+        self._fun: str | None = None
         for f in program.functions:
             self.arities.setdefault(f.name, set()).add(f.arity)
         self._check_duplicate_signatures(program)
@@ -86,22 +77,26 @@ class _Checker:
             key = (f.name, tuple(str(p.type) for p in f.params))
             if key in seen:
                 self.error(
+                    "SAC006",
                     f"duplicate definition of {f.name}"
                     f"({', '.join(str(p.type) for p in f.params)})",
                     f.pos,
                 )
             seen[key] = f
 
-    def error(self, message: str, pos: SourcePos | None) -> None:
-        self.diags.append(Diagnostic(message, pos))
+    def error(self, code: str, message: str,
+              pos: SourcePos | None) -> None:
+        self.diags.append(Diagnostic.make(code, message, pos, self._fun))
 
     # -- functions ----------------------------------------------------------
 
     def check_function(self, fun: FunDef) -> None:
+        self._fun = fun.name
         names = [p.name for p in fun.params]
         for name in set(names):
             if names.count(name) > 1:
                 self.error(
+                    "SAC005",
                     f"duplicate parameter {name!r} in {fun.name!r}", fun.pos
                 )
         defined = set(names)
@@ -109,9 +104,11 @@ class _Checker:
         if fun.return_type.base is not BaseType.VOID and \
                 not self._always_returns(fun.body):
             self.error(
+                "SAC007",
                 f"function {fun.name!r} may finish without returning a value",
                 fun.pos,
             )
+        self._fun = None
 
     def _always_returns(self, block: Block) -> bool:
         for stmt in block.statements:
@@ -167,7 +164,7 @@ class _Checker:
             self.check_block(stmt.body, defined)
             self.check_expr(stmt.cond, defined)
         else:  # pragma: no cover - parser produces no other statements
-            self.error(f"unknown statement {type(stmt).__name__}",
+            self.error("SAC001", f"unknown statement {type(stmt).__name__}",
                        getattr(stmt, "pos", None))
 
     # -- expressions -----------------------------------------------------------
@@ -175,9 +172,11 @@ class _Checker:
     def check_expr(self, expr: Expr, defined: set[str]) -> None:
         if isinstance(expr, Var):
             if expr.name not in defined:
-                self.error(f"undefined variable {expr.name!r}", expr.pos)
+                self.error("SAC002",
+                           f"undefined variable {expr.name!r}", expr.pos)
         elif isinstance(expr, Dot):
-            self.error("'.' is only legal as a generator bound", expr.pos)
+            self.error("SAC008",
+                       "'.' is only legal as a generator bound", expr.pos)
         elif isinstance(expr, VectorLit):
             for e in expr.elements:
                 self.check_expr(e, defined)
@@ -201,11 +200,13 @@ class _Checker:
         arities = self.arities.get(call.name)
         if arities is None:
             if not is_builtin(call.name):
-                self.error(f"call to undefined function {call.name!r}",
+                self.error("SAC003",
+                           f"call to undefined function {call.name!r}",
                            call.pos)
             return
         if len(call.args) not in arities and not is_builtin(call.name):
             self.error(
+                "SAC004",
                 f"no overload of {call.name!r} takes {len(call.args)} "
                 f"argument(s); defined arities: {sorted(arities)}",
                 call.pos,
@@ -218,6 +219,7 @@ class _Checker:
             if isinstance(bound, Dot):
                 if not frame:
                     self.error(
+                        "SAC008",
                         "'.' bound requires a genarray/modarray frame",
                         bound.pos or wl.pos,
                     )
@@ -243,7 +245,8 @@ class _Checker:
                 and op.fun not in self.arities
                 and not is_builtin(op.fun)
             ):
-                self.error(f"fold names undefined function {op.fun!r}",
+                self.error("SAC009",
+                           f"fold names undefined function {op.fun!r}",
                            op.pos or wl.pos)
 
 

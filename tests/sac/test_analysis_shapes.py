@@ -1,0 +1,166 @@
+"""Abstract shape inference: affine domain, SAC1xx diagnostics."""
+
+from repro.sac.analysis import Affine, Interval, analyze_source
+from repro.sac.diagnostics import Severity
+
+
+def report(src, filename="<test>"):
+    return analyze_source(src, filename)
+
+
+def codes(src):
+    return [d.code for d in report(src).diagnostics]
+
+
+def diag(src, code):
+    found = [d for d in report(src).diagnostics if d.code == code]
+    assert found, f"expected a {code} diagnostic"
+    return found[0]
+
+
+class TestAffine:
+    def test_const_arithmetic(self):
+        a = Affine.of(3).add(Affine.of(4))
+        assert a.is_const and a.const == 7
+
+    def test_symbols_cancel(self):
+        s = Affine.sym(("ext", "u", 0))
+        assert s.sub(s).is_const
+        assert s.sub(s).const == 0
+
+    def test_extent_sym_nonneg(self):
+        s = Affine.sym(("ext", "u", 0))
+        assert s.always_nonneg()
+        assert s.add(Affine.of(1)).always_pos()
+        assert not s.sub(Affine.of(1)).always_nonneg()
+
+    def test_int_param_sym_not_nonneg(self):
+        # int parameters may be negative: no positivity proof.
+        s = Affine.sym(("int", "f.n"))
+        assert not s.always_nonneg()
+
+    def test_always_neg(self):
+        assert Affine.of(-1).always_neg()
+        assert not Affine.of(0).always_neg()
+
+
+class TestInterval:
+    def test_point(self):
+        i = Interval.point(5)
+        assert i.is_point and i.const_value == 5
+
+    def test_add_sub(self):
+        a = Interval(Affine.of(1), Affine.of(3))
+        b = Interval(Affine.of(10), Affine.of(20))
+        s = a.add(b)
+        assert s.lo.const == 11 and s.hi.const == 23
+        d = b.sub(a)
+        assert d.lo.const == 7 and d.hi.const == 19
+
+    def test_join_consts(self):
+        a = Interval.point(1).join(Interval.point(5))
+        assert a.lo.const == 1 and a.hi.const == 5
+
+
+class TestShapeMismatch:
+    def test_aks_extent_mismatch(self):
+        d = diag("double f(double[4] a, double[5] b) "
+                 "{ return sum(a + b); }", "SAC101")
+        assert d.severity is Severity.ERROR
+        assert d.pos is not None
+
+    def test_rank_mismatch(self):
+        assert "SAC101" in codes(
+            "double f(double[2,2] a, double[4] b) { return sum(a + b); }")
+
+    def test_equal_shapes_clean(self):
+        assert codes("double f(double[4] a, double[4] b) "
+                     "{ return sum(a + b); }") == []
+
+    def test_unknown_shapes_silent(self):
+        # [+] against [+]: nothing provable, no noise.
+        assert codes("double f(double[+] a, double[+] b) "
+                     "{ return sum(a + b); }") == []
+
+
+class TestIndexRank:
+    def test_index_too_long(self):
+        assert "SAC103" in codes("double f(double[4] a) "
+                                 "{ return a[[1,2]]; }")
+
+    def test_exact_rank_clean(self):
+        assert codes("double f(double[4,4] a) { return a[[1,2]]; }") == []
+
+
+class TestHaloEscape:
+    RELAX = """
+inline double Stencil(double[+] u, int[.] iv) {{
+  return with ([0,0,0] <= ov < {width}) fold(+, 0.0, u[iv + ov - 1]);
+}}
+double[+] Relax(double[+] u) {{
+  return with (0*shape(u)+1 <= iv < shape(u)-1) modarray(u, Stencil(u, iv));
+}}
+"""
+
+    def test_three_wide_stencil_in_halo(self):
+        # The paper's setup: iv in [1, ext-2], offsets in [0,2], access
+        # iv+ov-1 in [0, ext-1] — exactly inside the extended grid.
+        assert codes(self.RELAX.format(width="[3,3,3]")) == []
+
+    def test_five_wide_stencil_escapes(self):
+        d = diag(self.RELAX.format(width="[5,5,5]"), "SAC102")
+        assert "escapes the halo" in d.message
+        assert d.pos is not None and d.pos.line == 3
+
+    def test_constant_negative_index(self):
+        src = ("double f(double[4] a) { return a[[0]] - a[[0 - 1]]; }")
+        assert "SAC102" in codes(src)
+
+    def test_constant_index_past_extent(self):
+        assert "SAC102" in codes(
+            "double f(double[4] a) { return a[[4]]; }")
+
+    def test_last_legal_index_clean(self):
+        assert codes("double f(double[4] a) { return a[[3]]; }") == []
+
+
+class TestInlinePropagation:
+    def test_facts_flow_through_inline_helper(self):
+        # The escape is only provable inside the helper with the caller's
+        # generator context — requires abstract inline expansion.
+        src = """
+inline double pick(double[+] a, int[.] i) { return a[i + 2]; }
+double f(double[8] a) {
+  return with ([0] <= iv < shape(a)) fold(+, 0.0, pick(a, iv));
+}
+"""
+        assert "SAC102" in [d.code for d in report(src).diagnostics]
+
+    def test_non_inline_call_is_opaque(self):
+        src = """
+double pick(double[+] a, int[.] i) { return a[i + 2]; }
+double f(double[8] a) {
+  return with ([0] <= iv < shape(a)) fold(+, 0.0, pick(a, iv));
+}
+"""
+        assert codes(src) == []
+
+    def test_recursion_guard_terminates(self):
+        src = """
+inline int f(int n) { return f(n - 1); }
+int g() { return f(3); }
+"""
+        assert "SAC102" not in codes(src)
+
+
+class TestGeneratorRank:
+    def test_rank_exceeds_frame(self):
+        assert "SAC104" in codes(
+            "int[4] f() { return with ([0,0] <= iv < [4,4]) "
+            "genarray([4], 1); }")
+
+    def test_prefix_generator_clean(self):
+        # A generator may legally cover a lower-rank prefix.
+        assert "SAC104" not in codes(
+            "double[4,4] f(double[4,4] a) { return with ([0] <= iv < [4]) "
+            "modarray(a, 0.0); }")

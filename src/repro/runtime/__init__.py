@@ -1,5 +1,6 @@
 """Implicit SMP parallelization substrate: partitioner, thread team,
-parallel MG kernels and the reference-counting memory model."""
+parallel MG kernels, the reference-counting memory model, and the
+resilience layer (fault injection, failure detection, checkpointing)."""
 
 from .executor import ThreadTeam
 from .memory import (
@@ -14,6 +15,18 @@ from .parallel_mg import (
     parallel_psinv,
     parallel_resid,
     parallel_rprj3,
+)
+from .resilience import (
+    CheckpointStore,
+    Fault,
+    FaultKind,
+    FaultPlan,
+    HaloCorruption,
+    HaloTimeout,
+    RankFailure,
+    ResilienceError,
+    TeamError,
+    WorldAborted,
 )
 from .scheduler import Chunk, block_partition, chunked_partition, cyclic_partition
 from .shm import ProcessTeam, SharedGrid, process_psinv, process_resid
@@ -41,4 +54,14 @@ __all__ = [
     "DistributedMG",
     "RankComm",
     "World",
+    "CheckpointStore",
+    "Fault",
+    "FaultKind",
+    "FaultPlan",
+    "HaloCorruption",
+    "HaloTimeout",
+    "RankFailure",
+    "ResilienceError",
+    "TeamError",
+    "WorldAborted",
 ]

@@ -15,6 +15,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Callable, Sequence
 
+from .resilience.errors import TeamError
 from .scheduler import Chunk, block_partition
 
 __all__ = ["ThreadTeam"]
@@ -61,7 +62,10 @@ class ThreadTeam:
         """Execute ``kernel`` over all chunks; returns after the barrier.
 
         Exceptions raised by any worker propagate to the caller (after
-        all workers finished), like a failed SPMD region would abort.
+        all workers finished), like a failed SPMD region would abort.  A
+        single failure is re-raised as-is; multiple failures surface as
+        one composite :class:`~repro.runtime.resilience.errors.TeamError`
+        carrying every cause, so no worker failure is ever shadowed.
         """
         if self._closed:
             raise RuntimeError("team has been shut down")
@@ -75,10 +79,11 @@ class ThreadTeam:
             return
         futures = [self._pool.submit(kernel, c) for c in work]
         done, _ = wait(futures)
-        for f in done:
-            exc = f.exception()
-            if exc is not None:
-                raise exc
+        errors = [exc for f in done if (exc := f.exception()) is not None]
+        if len(errors) == 1:
+            raise errors[0]
+        if errors:
+            raise TeamError(errors)
 
     def run_partitioned(self, kernel: Callable[[Chunk], None],
                         shape: tuple[int, ...], axis: int = 0) -> None:

@@ -1,0 +1,45 @@
+"""Halo-plane integrity: per-plane checksums and sealed messages.
+
+When a world is built with ``halo_checksums=True``, every halo plane
+travels as a :class:`SealedMessage` carrying a CRC-32 of its pristine
+bytes, and the sending channel keeps the pristine payload in a bounded
+replay buffer.  The receiver verifies the checksum; on mismatch it pulls
+the pristine plane back from the replay buffer (a retransmission) up to
+``halo_retries`` times before escalating to
+:class:`~repro.runtime.resilience.errors.HaloCorruption` and a world
+abort.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["plane_checksum", "SealedMessage"]
+
+
+def plane_checksum(a) -> int:
+    """CRC-32 of an array's raw float64 bytes (order-normalised)."""
+    arr = np.ascontiguousarray(a, dtype=np.float64)
+    return zlib.crc32(arr.tobytes())
+
+
+@dataclass(frozen=True)
+class SealedMessage:
+    """One channel message: payload plus provenance and optional checksum."""
+
+    seq: int
+    payload: object
+    #: CRC-32 of the pristine payload, or None when checksums are off.
+    checksum: int | None
+    op: str | None
+    level: int | None
+    src: int
+
+    def verify(self) -> bool:
+        """True when no checksum travels or the payload matches it."""
+        if self.checksum is None:
+            return True
+        return plane_checksum(self.payload) == self.checksum

@@ -1,0 +1,175 @@
+"""Structured exception taxonomy for the resilient SPMD runtime.
+
+Every failure mode of the distributed MG runtime maps to one class here,
+and every instance carries enough provenance (rank, operation, level,
+iteration) to reconstruct *where* in the SPMD program the fault struck —
+replacing the bare ``queue.Empty`` / ``BrokenBarrierError`` a blocked
+rank used to die with.
+
+Hierarchy::
+
+    ResilienceError(RuntimeError)
+    ├── RankFailure        one rank's primary failure (wraps the cause)
+    ├── WorldAborted       the whole world cancelled; names every failed rank
+    ├── HaloTimeout        a halo recv exceeded its deadline
+    ├── BarrierTimeout     a barrier wait exceeded its deadline
+    ├── HaloCorruption     checksum mismatch survived all retransmits
+    ├── InjectedFault      a FaultPlan fault firing inside a rank
+    ├── CheckpointError    checkpoint store misuse / missing snapshot
+    └── TeamError          composite worker failure in a fork-join team
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = [
+    "ResilienceError",
+    "RankFailure",
+    "WorldAborted",
+    "HaloTimeout",
+    "BarrierTimeout",
+    "HaloCorruption",
+    "InjectedFault",
+    "CheckpointError",
+    "TeamError",
+]
+
+
+class ResilienceError(RuntimeError):
+    """Base class of the SPMD runtime failure taxonomy."""
+
+
+def _where(op: str | None, level: int | None, iteration: int | None) -> str:
+    parts = []
+    if iteration is not None:
+        parts.append(f"iteration {iteration}")
+    if op is not None:
+        parts.append(f"op {op!r}")
+    if level is not None:
+        parts.append(f"level {level}")
+    return f" ({', '.join(parts)})" if parts else ""
+
+
+class RankFailure(ResilienceError):
+    """One rank's primary failure, with provenance and the wrapped cause."""
+
+    def __init__(self, rank: int, *, op: str | None = None,
+                 level: int | None = None, iteration: int | None = None,
+                 cause: BaseException | None = None):
+        self.rank = rank
+        self.op = op
+        self.level = level
+        self.iteration = iteration
+        self.cause = cause
+        msg = f"rank {rank} failed{_where(op, level, iteration)}"
+        if cause is not None:
+            msg += f": {type(cause).__name__}: {cause}"
+        super().__init__(msg)
+
+
+class WorldAborted(ResilienceError):
+    """The world was cancelled.
+
+    Raised both by the coordinating ``solve`` (carrying *all* collected
+    :class:`RankFailure` records — the composite, no last-writer-wins)
+    and inside surviving ranks when the cancellation token trips.
+    """
+
+    def __init__(self, failures: Sequence[RankFailure] = (), *,
+                 observer: int | None = None, op: str | None = None,
+                 level: int | None = None):
+        self.failures = tuple(failures)
+        self.observer = observer
+        ranks = sorted({f.rank for f in self.failures})
+        self.failed_ranks = ranks
+        if ranks:
+            msg = f"world aborted; failed ranks: {ranks}"
+            msg += "".join(f"\n  - {f}" for f in self.failures)
+        else:
+            msg = "world aborted"
+        if observer is not None:
+            msg += f" [observed by rank {observer}{_where(op, level, None)}]"
+        super().__init__(msg)
+
+
+class HaloTimeout(ResilienceError):
+    """A halo-plane receive exceeded its deadline (wraps ``queue.Empty``)."""
+
+    def __init__(self, rank: int, *, op: str | None = None,
+                 level: int | None = None, src: int | None = None,
+                 timeout: float | None = None):
+        self.rank = rank
+        self.op = op
+        self.level = level
+        self.src = src
+        self.timeout = timeout
+        msg = f"rank {rank}: halo recv timed out{_where(op, level, None)}"
+        if src is not None:
+            msg += f" waiting on rank {src}"
+        if timeout is not None:
+            msg += f" after {timeout:g}s"
+        super().__init__(msg)
+
+
+class BarrierTimeout(ResilienceError):
+    """A barrier wait expired (wraps ``threading.BrokenBarrierError``)."""
+
+    def __init__(self, rank: int, *, op: str | None = None,
+                 timeout: float | None = None):
+        self.rank = rank
+        self.op = op
+        self.timeout = timeout
+        msg = f"rank {rank}: barrier timed out{_where(op, None, None)}"
+        if timeout is not None:
+            msg += f" after {timeout:g}s"
+        super().__init__(msg)
+
+
+class HaloCorruption(ResilienceError):
+    """A halo plane failed its checksum after all bounded retransmits."""
+
+    def __init__(self, rank: int, *, level: int | None = None,
+                 src: int | None = None, retries: int = 0):
+        self.rank = rank
+        self.level = level
+        self.src = src
+        self.retries = retries
+        msg = (f"rank {rank}: halo plane from rank {src} failed checksum "
+               f"verification after {retries} retransmit(s)"
+               f"{_where(None, level, None)}")
+        super().__init__(msg)
+
+
+class InjectedFault(ResilienceError):
+    """A :class:`~repro.runtime.resilience.faults.Fault` firing in a rank."""
+
+    def __init__(self, rank: int, kind: str, *, iteration: int | None = None):
+        self.rank = rank
+        self.kind = kind
+        self.iteration = iteration
+        super().__init__(
+            f"injected {kind} fault on rank {rank}"
+            f"{_where(None, None, iteration)}"
+        )
+
+
+class CheckpointError(ResilienceError):
+    """Checkpoint store misuse (restart without a usable snapshot, etc.)."""
+
+
+class TeamError(ResilienceError):
+    """Composite failure of a fork-join worker team.
+
+    Collects *every* worker exception from one parallel region rather
+    than surfacing an arbitrary one.
+    """
+
+    def __init__(self, causes: Iterable[BaseException]):
+        self.causes = tuple(causes)
+        lines = "".join(
+            f"\n  - {type(c).__name__}: {c}" for c in self.causes
+        )
+        super().__init__(
+            f"{len(self.causes)} worker(s) failed in a parallel region:{lines}"
+        )

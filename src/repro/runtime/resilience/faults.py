@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the SPMD runtime.
+
+A :class:`FaultPlan` is a declarative list of :class:`Fault` specs — rank
+crashes, dropped / delayed / corrupted halo messages, slow ranks — that
+the :class:`~repro.runtime.spmd.World` threads through pluggable
+:class:`RankInjector` hooks on ``_Channel.send`` and the per-iteration
+boundary.  Plans are pure data plus a seed, so a chaos run is exactly
+reproducible: the same plan against the same solve hits the same
+operations in the same order.
+
+Use :meth:`FaultPlan.chaos` to generate a seeded pseudo-random plan (the
+CI chaos job does), or build plans explicitly for targeted tests::
+
+    plan = FaultPlan([Fault(FaultKind.CRASH, rank=1, iteration=2)])
+    DistributedMG(4, fault_plan=plan).solve("S")   # raises WorldAborted
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Sequence
+
+import numpy as np
+
+from .errors import InjectedFault
+
+__all__ = ["FaultKind", "Fault", "FaultPlan", "RankInjector"]
+
+
+class FaultKind(str, Enum):
+    """The kinds of fault the runtime can inject."""
+
+    #: The rank raises :class:`InjectedFault` at an iteration boundary.
+    CRASH = "crash"
+    #: The rank sleeps ``delay`` seconds at an iteration boundary.
+    SLOW = "slow"
+    #: A matching outbound message is silently discarded.
+    DROP = "drop"
+    #: A matching outbound message is delivered after ``delay`` seconds.
+    DELAY = "delay"
+    #: A matching outbound halo plane is perturbed in flight (the pristine
+    #: payload stays in the channel's replay buffer for retransmission).
+    CORRUPT = "corrupt"
+
+
+_MESSAGE_KINDS = frozenset({FaultKind.DROP, FaultKind.DELAY, FaultKind.CORRUPT})
+_ITERATION_KINDS = frozenset({FaultKind.CRASH, FaultKind.SLOW})
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One fault spec.
+
+    ``iteration``/``op``/``level`` narrow which events the fault matches
+    (``None`` matches any); ``count`` bounds how many matching events it
+    fires on (message kinds only — a crash fires once by nature).
+    """
+
+    kind: FaultKind
+    rank: int
+    iteration: int | None = None
+    op: str | None = None
+    level: int | None = None
+    #: Seconds for SLOW / DELAY faults.
+    delay: float = 0.05
+    #: Additive perturbation for CORRUPT faults.
+    magnitude: float = 1.0e3
+    #: How many matching events to hit (message kinds).
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise ValueError("fault rank must be >= 0")
+        if self.count < 1:
+            raise ValueError("fault count must be >= 1")
+        if self.kind in _ITERATION_KINDS and self.op is not None:
+            raise ValueError(f"{self.kind.value} faults fire at iteration "
+                             "boundaries and take no op filter")
+
+
+class FaultPlan:
+    """An immutable, reproducible set of faults for one SPMD run."""
+
+    def __init__(self, faults: Sequence[Fault] = (), *, seed: int | None = None):
+        self.faults = tuple(faults)
+        self.seed = seed
+        for f in self.faults:
+            if not isinstance(f, Fault):
+                raise TypeError(f"expected Fault, got {type(f).__name__}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultPlan({list(self.faults)!r}, seed={self.seed!r})"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, FaultPlan)
+                and self.faults == other.faults and self.seed == other.seed)
+
+    def __hash__(self) -> int:
+        return hash((self.faults, self.seed))
+
+    @classmethod
+    def chaos(cls, seed: int, nranks: int, iters: int, *,
+              nfaults: int = 1,
+              kinds: Sequence[FaultKind] = (FaultKind.CRASH, FaultKind.SLOW,
+                                            FaultKind.DELAY,
+                                            FaultKind.CORRUPT)) -> "FaultPlan":
+        """Generate a deterministic pseudo-random plan from ``seed``.
+
+        The same ``(seed, nranks, iters, nfaults, kinds)`` always yields
+        the identical plan, so chaos CI runs are reproducible bit for bit.
+        """
+        rng = random.Random(seed)
+        faults = []
+        for _ in range(nfaults):
+            kind = rng.choice(list(kinds))
+            faults.append(Fault(
+                kind=kind,
+                rank=rng.randrange(nranks),
+                iteration=rng.randrange(iters),
+                delay=0.01 + 0.04 * rng.random(),
+                magnitude=10.0 ** rng.randrange(1, 6),
+            ))
+        return cls(faults, seed=seed)
+
+    def injector(self, rank: int, stats=None) -> "RankInjector | None":
+        """Build this rank's hook, or ``None`` if no fault targets it."""
+        mine = [f for f in self.faults if f.rank == rank]
+        if not mine:
+            return None
+        return RankInjector(rank, mine, stats=stats)
+
+
+class RankInjector:
+    """One rank's live fault hook.
+
+    The :class:`~repro.runtime.spmd.World` calls :meth:`iteration_start`
+    at every V-cycle boundary and :meth:`on_message` from
+    ``_Channel.send``; matching is deterministic (program order within a
+    rank is sequential, so no locking is needed).
+    """
+
+    def __init__(self, rank: int, faults: Sequence[Fault], stats=None):
+        self.rank = rank
+        self.stats = stats
+        self.iteration: int | None = None
+        self._budget: dict[int, int] = {
+            i: f.count for i, f in enumerate(faults)
+        }
+        self._faults = tuple(faults)
+
+    def _matching(self, kinds, op=None, level=None):
+        for i, f in enumerate(self._faults):
+            if f.kind not in kinds or self._budget[i] <= 0:
+                continue
+            if f.iteration is not None and f.iteration != self.iteration:
+                continue
+            if f.op is not None and f.op != op:
+                continue
+            if f.level is not None and f.level != level:
+                continue
+            yield i, f
+
+    def _bump(self, field: str) -> None:
+        if self.stats is not None:
+            self.stats.bump(field)
+
+    # -- hooks ---------------------------------------------------------------
+
+    def iteration_start(self, iteration: int) -> None:
+        """Called by the rank program at each V-cycle boundary."""
+        self.iteration = iteration
+        for i, f in self._matching(_ITERATION_KINDS):
+            self._budget[i] -= 1
+            if f.kind is FaultKind.SLOW:
+                self._bump("slows")
+                time.sleep(f.delay)
+            else:
+                self._bump("crashes")
+                raise InjectedFault(self.rank, f.kind.value,
+                                    iteration=iteration)
+
+    def on_message(self, op: str | None, level: int | None,
+                   payload) -> tuple[str, object, float]:
+        """Filter one outbound message.
+
+        Returns ``(action, payload, delay)`` where action is one of
+        ``"deliver"``, ``"drop"``, ``"delay"``, ``"corrupt"``.
+        """
+        for i, f in self._matching(_MESSAGE_KINDS, op=op, level=level):
+            self._budget[i] -= 1
+            if f.kind is FaultKind.DROP:
+                self._bump("drops")
+                return "drop", None, 0.0
+            if f.kind is FaultKind.DELAY:
+                self._bump("delays")
+                return "delay", payload, f.delay
+            corrupted = np.array(payload, dtype=np.float64, copy=True)
+            corrupted.flat[corrupted.size // 2] += f.magnitude
+            self._bump("corruptions")
+            return "corrupt", corrupted, 0.0
+        return "deliver", payload, 0.0

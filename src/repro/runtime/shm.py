@@ -56,18 +56,31 @@ class SharedGrid:
 
     @classmethod
     def create(cls, m: int) -> "SharedGrid":
-        """Allocate a zeroed extended grid with interior ``m`` per dim."""
+        """Allocate a zeroed extended grid with interior ``m`` per dim.
+
+        The segment is unlinked again if initialization fails, so a
+        failed constructor never leaks OS shared memory.
+        """
         shape = (m + 2,) * 3
         nbytes = int(np.prod(shape)) * 8
         shm = shared_memory.SharedMemory(create=True, size=nbytes)
-        grid = cls(shm, shape, owner=True)
-        grid.array[...] = 0.0
+        try:
+            grid = cls(shm, shape, owner=True)
+            grid.array[...] = 0.0
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
         return grid
 
     @classmethod
     def from_array(cls, a: np.ndarray) -> "SharedGrid":
         grid = cls.create(a.shape[0] - 2)
-        grid.array[...] = a
+        try:
+            grid.array[...] = a
+        except BaseException:
+            grid.unlink()
+            raise
         return grid
 
     @classmethod
@@ -138,12 +151,18 @@ class ProcessTeam:
     def __enter__(self) -> "ProcessTeam":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.shutdown()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # On an exception, terminate rather than close: close() waits for
+        # outstanding tasks, which can block forever behind a wedged
+        # worker exactly when the caller is trying to unwind.
+        self.shutdown(force=exc_type is not None)
 
-    def shutdown(self) -> None:
+    def shutdown(self, force: bool = False) -> None:
         if not self._closed:
-            self._pool.close()
+            if force:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._closed = True
 

@@ -22,13 +22,36 @@ communication structure of MPI without requiring an MPI runtime (the
 per-element arithmetic reuses the expression-order-exact chunk kernels,
 so the solution fields are bit-identical to the serial solver; only the
 final *norm's* summation order differs, as it does for real MPI too).
+
+The runtime carries real failure semantics (see ``docs/RESILIENCE.md``):
+
+* every blocking operation is governed by a configurable **timeout**
+  (``World(timeout=...)``, env override ``REPRO_SPMD_TIMEOUT``) and
+  raises the structured taxonomy of :mod:`repro.runtime.resilience`
+  (:class:`HaloTimeout`, :class:`BarrierTimeout`, ...) instead of raw
+  ``queue.Empty`` / ``BrokenBarrierError``;
+* one rank's death trips a world-wide **cancellation token**, breaks the
+  barrier, and poison-pills every channel, so peers observe
+  :class:`WorldAborted` within milliseconds rather than timing out; all
+  primary failures are collected in a lock-protected registry and the
+  caller receives the composite naming every failed rank;
+* a seeded, deterministic :class:`FaultPlan` can inject crashes, drops,
+  delays, corruption and slowness through hooks on ``_Channel``;
+* with ``halo_checksums=True`` each halo plane travels with a CRC and is
+  retransmitted from a replay buffer on mismatch (bounded by
+  ``halo_retries``) before escalating;
+* a :class:`CheckpointStore` snapshots per-rank state at iteration
+  boundaries and a failed run restarts bit-identically from the last
+  complete snapshot.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,40 +62,251 @@ from repro.core.stencils import A_COEFFS, S_COEFFS_A, S_COEFFS_B
 from repro.core.zran3 import zran3
 
 from .parallel_mg import interp_chunk, psinv_chunk, resid_chunk, rprj3_chunk
+from .resilience import (
+    BarrierTimeout,
+    CancellationToken,
+    CheckpointError,
+    CheckpointStore,
+    FailureRegistry,
+    FaultPlan,
+    HaloCorruption,
+    HaloTimeout,
+    RankFailure,
+    ResilienceStats,
+    SealedMessage,
+    WorldAborted,
+    plane_checksum,
+)
 
-__all__ = ["DistributedMG", "RankComm", "World"]
+__all__ = ["DistributedMG", "RankComm", "World", "DEFAULT_TIMEOUT",
+           "DEFAULT_JOIN_TIMEOUT"]
+
+#: Default deadline for one blocking recv/barrier (seconds).
+DEFAULT_TIMEOUT = 60.0
+#: Default deadline for joining the whole world (seconds).
+DEFAULT_JOIN_TIMEOUT = 600.0
+#: Granularity at which blocked operations poll the cancellation token.
+_POLL_INTERVAL = 0.05
+#: Pristine payloads kept per channel for checksum retransmission.
+_REPLAY_DEPTH = 8
+
+#: Sentinel flushed into every channel on abort so blocked receivers
+#: wake immediately instead of waiting out a poll interval.
+_POISON = object()
+
+
+def _env_timeout(name: str, fallback: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return fallback
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be a number, got {raw!r}") from None
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+    return value
 
 
 class _Channel:
-    """One-directional message link between two ranks."""
+    """One-directional message link between two ranks.
 
-    def __init__(self) -> None:
+    Sends pass through the source rank's fault injector (if any); when
+    the world runs with halo checksums, pristine payloads are parked in
+    a bounded replay buffer so a corrupted delivery can be retransmitted.
+    """
+
+    def __init__(self, world: "World", src: int):
+        self.world = world
+        self.src = src
         self._q: queue.Queue = queue.Queue()
+        self._seq = 0
+        self._replay: dict[int, object] = {}
+        self._lock = threading.Lock()
 
-    def send(self, payload) -> None:
-        self._q.put(payload)
+    def send(self, payload, op: str | None = None,
+             level: int | None = None) -> None:
+        w = self.world
+        checksum = plane_checksum(payload) if w.halo_checksums else None
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            if w.halo_checksums:
+                self._replay[seq] = payload
+                for stale in [s for s in self._replay
+                              if s <= seq - _REPLAY_DEPTH]:
+                    del self._replay[stale]
+        delay = 0.0
+        injector = w.injector(self.src)
+        if injector is not None:
+            action, mutated, delay = injector.on_message(op, level, payload)
+            if action == "drop":
+                return
+            if action == "corrupt":
+                payload = mutated
+        if delay > 0.0:
+            time.sleep(delay)
+        w.stats.bump("sends")
+        self._q.put(SealedMessage(seq, payload, checksum, op, level, self.src))
 
-    def recv(self, timeout: float = 60.0):
-        return self._q.get(timeout=timeout)
+    def _retransmit(self, seq: int):
+        with self._lock:
+            return self._replay.get(seq)
+
+    def recv(self, rank: int, op: str | None = None, level: int | None = None,
+             timeout: float | None = None):
+        """Blocking receive with cancellation, deadline and integrity.
+
+        Polls the world's cancellation token between short waits so a
+        peer failure surfaces as :class:`WorldAborted` in milliseconds;
+        a quiet deadline becomes :class:`HaloTimeout` (wrapping the raw
+        ``queue.Empty``); a checksum mismatch triggers bounded
+        retransmission before :class:`HaloCorruption` escalates.
+
+        Messages whose ``(op, level)`` tag differs from what this recv
+        is waiting for are discarded (MPI-style tag matching): a tag
+        mismatch means an earlier message on this link was lost, and
+        consuming the stray plane would silently desynchronise the
+        ring — starving into :class:`HaloTimeout` is the honest outcome.
+        """
+        w = self.world
+        timeout = w.timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        while True:
+            w.check_abort(rank=rank, op=op, level=level)
+            remaining = deadline - time.monotonic()
+            try:
+                msg = self._q.get(timeout=min(_POLL_INTERVAL,
+                                              max(remaining, 0.001)))
+            except queue.Empty as exc:
+                if time.monotonic() >= deadline:
+                    raise HaloTimeout(rank, op=op, level=level, src=self.src,
+                                      timeout=timeout) from exc
+                continue
+            if msg is _POISON:
+                w.check_abort(rank=rank, op=op, level=level)
+                # Poison without an abort flag cannot happen in normal
+                # operation; treat it as an abort with no provenance.
+                raise WorldAborted(w.registry.failures(), observer=rank,
+                                   op=op, level=level)
+            if msg.op != op or msg.level != level:
+                w.stats.bump("tag_mismatches")
+                continue
+            return self._verified_payload(msg, rank)
+
+    def _verified_payload(self, msg: SealedMessage, rank: int):
+        w = self.world
+        if msg.checksum is None:
+            return msg.payload
+        payload = msg.payload
+        retries = 0
+        while plane_checksum(payload) != msg.checksum:
+            w.stats.bump("checksum_failures")
+            if retries >= w.halo_retries:
+                raise HaloCorruption(rank, level=msg.level, src=msg.src,
+                                     retries=retries)
+            pristine = self._retransmit(msg.seq)
+            if pristine is None:
+                raise HaloCorruption(rank, level=msg.level, src=msg.src,
+                                     retries=retries)
+            w.stats.bump("retransmits")
+            payload = pristine
+            retries += 1
+        return payload
 
 
 class World:
-    """The communication fabric of one SPMD run."""
+    """The communication fabric of one SPMD run.
 
-    def __init__(self, size: int):
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    timeout:
+        Deadline in seconds for each blocking recv/barrier.  Defaults to
+        the ``REPRO_SPMD_TIMEOUT`` environment variable, else 60.
+    join_timeout:
+        Deadline for the coordinating thread to join all ranks.
+        Defaults to ``REPRO_SPMD_JOIN_TIMEOUT``, else 600.
+    fault_plan:
+        Optional deterministic :class:`FaultPlan` for chaos runs.
+    halo_checksums:
+        Verify a CRC-32 on every received halo plane.
+    halo_retries:
+        Retransmissions allowed per corrupted plane before abort.
+    """
+
+    def __init__(self, size: int, *, timeout: float | None = None,
+                 join_timeout: float | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 halo_checksums: bool = False, halo_retries: int = 2):
         if size < 1:
             raise ValueError("world size must be >= 1")
+        if halo_retries < 0:
+            raise ValueError("halo_retries must be >= 0")
         self.size = size
+        self.timeout = (_env_timeout("REPRO_SPMD_TIMEOUT", DEFAULT_TIMEOUT)
+                        if timeout is None else float(timeout))
+        self.join_timeout = (
+            _env_timeout("REPRO_SPMD_JOIN_TIMEOUT", DEFAULT_JOIN_TIMEOUT)
+            if join_timeout is None else float(join_timeout))
+        if self.timeout <= 0 or self.join_timeout <= 0:
+            raise ValueError("timeouts must be positive")
+        self.halo_checksums = bool(halo_checksums)
+        self.halo_retries = int(halo_retries)
         # ring links: up[r] carries messages r -> (r+1)%P,
         #             down[r] carries messages r -> (r-1)%P.
-        self._up = [_Channel() for _ in range(size)]
-        self._down = [_Channel() for _ in range(size)]
+        self._up = [_Channel(self, r) for r in range(size)]
+        self._down = [_Channel(self, r) for r in range(size)]
         self._barrier = threading.Barrier(size)
         self._gather_slots: list = [None] * size
-        self.failure: BaseException | None = None
+        self.registry = FailureRegistry()
+        self.cancel = CancellationToken()
+        self.stats = ResilienceStats()
+        self._injectors = [
+            fault_plan.injector(r, self.stats) if fault_plan is not None
+            else None
+            for r in range(size)
+        ]
 
     def comm(self, rank: int) -> "RankComm":
         return RankComm(self, rank)
+
+    def injector(self, rank: int):
+        return self._injectors[rank]
+
+    # -- failure handling ---------------------------------------------------
+
+    @property
+    def aborted(self) -> bool:
+        return self.cancel.is_set()
+
+    @property
+    def failure(self) -> BaseException | None:
+        """First recorded failure (legacy accessor; prefer ``registry``)."""
+        failures = self.registry.failures()
+        return failures[0] if failures else None
+
+    def abort(self, failure: RankFailure | None = None) -> None:
+        """Record ``failure`` and cancel the world.
+
+        Trips the cancellation token, breaks the barrier, and flushes a
+        poison pill into every channel so all blocked ranks wake at once.
+        Idempotent; concurrent failures all land in the registry.
+        """
+        if failure is not None:
+            self.registry.record(failure)
+        if not self.cancel.is_set():
+            self.cancel.cancel()
+            self._barrier.abort()
+            for ch in (*self._up, *self._down):
+                ch._q.put(_POISON)
+
+    def check_abort(self, rank: int | None = None, op: str | None = None,
+                    level: int | None = None) -> None:
+        if self.cancel.is_set():
+            raise WorldAborted(self.registry.failures(), observer=rank,
+                               op=op, level=level)
 
 
 @dataclass
@@ -81,44 +315,57 @@ class RankComm:
 
     world: World
     rank: int
+    #: Current V-cycle iteration, maintained by the rank program for
+    #: failure provenance.
+    iteration: int | None = field(default=None, compare=False)
 
     @property
     def size(self) -> int:
         return self.world.size
 
-    def barrier(self) -> None:
-        self.world._barrier.wait(timeout=60.0)
+    def barrier(self, op: str = "barrier") -> None:
+        w = self.world
+        w.check_abort(rank=self.rank, op=op)
+        try:
+            w._barrier.wait(timeout=w.timeout)
+        except threading.BrokenBarrierError as exc:
+            # Broken either by a world abort (peer failed: re-raise with
+            # full provenance) or by a genuine deadline expiry.
+            w.check_abort(rank=self.rank, op=op)
+            raise BarrierTimeout(self.rank, op=op,
+                                 timeout=w.timeout) from exc
 
     # -- ring halo exchange ---------------------------------------------------
 
     def exchange_halos(self, first_interior: np.ndarray,
-                       last_interior: np.ndarray):
+                       last_interior: np.ndarray, *,
+                       op: str = "halo-exchange", level: int | None = None):
         """Send boundary planes around the periodic ring; returns the
         (lower, upper) halo planes for this rank."""
         w = self.world
         r, p = self.rank, self.size
         if p == 1:
             return last_interior, first_interior
-        w._up[r].send(last_interior)      # to rank r+1: its lower halo
-        w._down[r].send(first_interior)   # to rank r-1: its upper halo
-        lower = w._up[(r - 1) % p].recv()
-        upper = w._down[(r + 1) % p].recv()
+        w._up[r].send(last_interior, op=op, level=level)    # to r+1: lower halo
+        w._down[r].send(first_interior, op=op, level=level)  # to r-1: upper halo
+        lower = w._up[(r - 1) % p].recv(r, op=op, level=level)
+        upper = w._down[(r + 1) % p].recv(r, op=op, level=level)
         return lower, upper
 
     # -- collectives ------------------------------------------------------------
 
-    def allgather(self, value):
+    def allgather(self, value, op: str = "allgather"):
         """Every rank contributes ``value``; all receive the rank-ordered
         list (two-phase with barriers; deterministic)."""
         w = self.world
         w._gather_slots[self.rank] = value
-        self.barrier()
+        self.barrier(op=op)
         out = list(w._gather_slots)
-        self.barrier()
+        self.barrier(op=op)
         return out
 
     def allreduce_sum(self, value: float) -> float:
-        parts = self.allgather(float(value))
+        parts = self.allgather(float(value), op="allreduce")
         return float(sum(parts))  # rank order: deterministic
 
 
@@ -126,7 +373,7 @@ class RankComm:
 # Slab helpers.
 # ---------------------------------------------------------------------------
 
-def _local_comm3(slab: np.ndarray, comm: RankComm) -> None:
+def _local_comm3(slab: np.ndarray, comm: RankComm, op: str = "comm3") -> None:
     """Refresh a slab's borders: local x/y faces, ring-exchanged z halos.
 
     Order matches the serial ``comm3`` (x, then y, then z): the z planes
@@ -145,7 +392,9 @@ def _local_comm3(slab: np.ndarray, comm: RankComm) -> None:
         src_lo[axis] = 1
         slab[tuple(lo)] = slab[tuple(src_hi)]
         slab[tuple(hi)] = slab[tuple(src_lo)]
-    lower, upper = comm.exchange_halos(slab[1].copy(), slab[-2].copy())
+    level = (slab.shape[1] - 2).bit_length() - 1
+    lower, upper = comm.exchange_halos(slab[1].copy(), slab[-2].copy(),
+                                       op=op, level=level)
     slab[0] = lower
     slab[-1] = upper
 
@@ -171,19 +420,39 @@ def _assemble_full(parts: list[np.ndarray], n: int) -> np.ndarray:
 # ---------------------------------------------------------------------------
 
 class DistributedMG:
-    """NAS MG across ``nranks`` SPMD ranks with slab decomposition."""
+    """NAS MG across ``nranks`` SPMD ranks with slab decomposition.
 
-    def __init__(self, nranks: int):
+    Resilience knobs (all optional, all defaulting to the seed
+    behaviour): ``timeout``/``join_timeout`` govern blocking deadlines,
+    ``fault_plan`` injects deterministic chaos, ``halo_checksums`` (with
+    ``halo_retries``) verifies halo integrity, and ``solve``'s
+    ``checkpoint``/``restart`` arguments enable snapshot-and-resume.
+    After each ``solve`` the constructed :class:`World` stays readable
+    as ``last_world`` (stats, failure registry).
+    """
+
+    def __init__(self, nranks: int, *, timeout: float | None = None,
+                 join_timeout: float | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 halo_checksums: bool = False, halo_retries: int = 2):
         if nranks < 1 or nranks & (nranks - 1):
             raise ValueError("nranks must be a power of two")
         self.nranks = nranks
+        self.timeout = timeout
+        self.join_timeout = join_timeout
+        self.fault_plan = fault_plan
+        self.halo_checksums = halo_checksums
+        self.halo_retries = halo_retries
+        self.last_world: World | None = None
 
     # levels with at least 2 planes per rank are distributed.
     def _distributed(self, k: int) -> bool:
         return (1 << k) >= 2 * self.nranks
 
-    def solve(self, size_class: str | SizeClass,
-              nit: int | None = None) -> MGResult:
+    def solve(self, size_class: str | SizeClass, nit: int | None = None, *,
+              checkpoint: CheckpointStore | None = None,
+              checkpoint_every: int = 1,
+              restart: bool = False) -> MGResult:
         sc = get_class(size_class) if isinstance(size_class, str) else size_class
         # The top two levels must be distributed so the V-cycle's special
         # finest-level handling stays in the distributed code path.
@@ -192,23 +461,46 @@ class DistributedMG:
                 f"class {sc.name} ({sc.nx}^3) is too small for "
                 f"{self.nranks} ranks (needs nx >= 4 * nranks)"
             )
+        if restart and checkpoint is None:
+            raise CheckpointError("restart=True requires a checkpoint store")
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         iters = sc.nit if nit is None else nit
-        world = World(self.nranks)
+        world = World(self.nranks, timeout=self.timeout,
+                      join_timeout=self.join_timeout,
+                      fault_plan=self.fault_plan,
+                      halo_checksums=self.halo_checksums,
+                      halo_retries=self.halo_retries)
+        self.last_world = world
         results: list = [None] * self.nranks
         threads = []
         for r in range(self.nranks):
             t = threading.Thread(
                 target=self._rank_main,
-                args=(world.comm(r), sc, iters, results),
+                args=(world.comm(r), sc, iters, results, checkpoint,
+                      checkpoint_every, restart),
                 name=f"mg-rank-{r}",
                 daemon=True,
             )
             threads.append(t)
             t.start()
+        deadline = time.monotonic() + world.join_timeout
         for t in threads:
-            t.join(timeout=600.0)
-        if world.failure is not None:
-            raise world.failure
+            t.join(timeout=max(0.0, deadline - time.monotonic()))
+        stuck = [r for r, t in enumerate(threads) if t.is_alive()]
+        if stuck:
+            for r in stuck:
+                world.abort(RankFailure(
+                    r, op="join",
+                    cause=TimeoutError(
+                        f"rank thread still alive after "
+                        f"{world.join_timeout:g}s"),
+                ))
+            # Give the woken ranks a moment to unwind before reporting.
+            for t in threads:
+                t.join(timeout=1.0)
+        if world.registry:
+            raise world.registry.composite()
         if any(res is None for res in results):
             raise RuntimeError("an SPMD rank did not finish")
         rnm2, rnmu, u_full, r_full = results[0]
@@ -217,36 +509,80 @@ class DistributedMG:
     # -- per-rank program -------------------------------------------------------
 
     def _rank_main(self, comm: RankComm, sc: SizeClass, iters: int,
-                   results: list) -> None:
+                   results: list, store: CheckpointStore | None,
+                   every: int, restart: bool) -> None:
+        world = comm.world
         try:
-            results[comm.rank] = self._run_rank(comm, sc, iters)
-        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
-            comm.world.failure = exc
+            results[comm.rank] = self._run_rank(comm, sc, iters, store,
+                                                every, restart)
+        except WorldAborted:
+            # A casualty of some other rank's recorded failure — don't
+            # re-record, just leave the slot empty.
             results[comm.rank] = None
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            results[comm.rank] = None
+            if isinstance(exc, RankFailure):
+                failure = exc
+            else:
+                failure = RankFailure(
+                    comm.rank,
+                    op=getattr(exc, "op", None),
+                    level=getattr(exc, "level", None),
+                    iteration=getattr(exc, "iteration", comm.iteration),
+                    cause=exc,
+                )
+            world.abort(failure)
 
     def _plane_range(self, k: int, rank: int) -> tuple[int, int]:
         nz = 1 << k
         per = nz // self.nranks
         return rank * per, per
 
-    def _run_rank(self, comm: RankComm, sc: SizeClass, iters: int):
+    def _run_rank(self, comm: RankComm, sc: SizeClass, iters: int,
+                  store: CheckpointStore | None, every: int, restart: bool):
         a = A_COEFFS
         c = S_COEFFS_A if sc.smoother == "a" else S_COEFFS_B
         lt = sc.lt
         rank = comm.rank
+        injector = comm.world.injector(rank)
 
         # Replicated, deterministic setup; each rank keeps its slab.
         v_full = zran3(sc.nx)
         z0, nzl = self._plane_range(lt, rank)
         v = _slab_from_full(v_full, z0, nzl)
-        u = np.zeros_like(v)
 
         r_levels: dict[int, np.ndarray] = {}
-        r_levels[lt] = self._resid_dist(u, v, a, comm)
+        start_it = 0
+        if restart:
+            latest = store.latest()
+            if latest is None:
+                raise CheckpointError("no complete checkpoint to restart from")
+            snapshot_ranks = store.world_size(latest)
+            if snapshot_ranks != self.nranks:
+                raise CheckpointError(
+                    f"checkpoint {latest} was taken with {snapshot_ranks} "
+                    f"ranks; cannot restart with {self.nranks}"
+                )
+            state = store.restore(latest, rank)
+            u = np.array(state.u, copy=True)
+            r_levels[lt] = np.array(state.r, copy=True)
+            start_it = latest
+        else:
+            u = np.zeros_like(v)
+            r_levels[lt] = self._resid_dist(u, v, a, comm)
 
-        for _ in range(iters):
+        for it in range(start_it, iters):
+            comm.iteration = it
+            if injector is not None:
+                injector.iteration_start(it)
+            if store is not None and it % every == 0:
+                store.put(it, rank, u, r_levels[lt])
+                comm.barrier(op="checkpoint-commit")
+                store.commit(it, self.nranks)
+                comm.world.stats.bump("checkpoints")
             self._v_cycle(u, v, r_levels, a, c, lt, comm)
             r_levels[lt] = self._resid_dist(u, v, a, comm)
+        comm.iteration = None
 
         # Verification norm: allreduce of the interior partial sums.
         ri = r_levels[lt][1:-1, 1:-1, 1:-1]
@@ -267,12 +603,12 @@ class DistributedMG:
     def _resid_dist(self, u, v, a, comm) -> np.ndarray:
         r = np.zeros_like(u)
         resid_chunk(u, v, a, r, 0, u.shape[0] - 2)
-        _local_comm3(r, comm)
+        _local_comm3(r, comm, op="resid")
         return r
 
     def _psinv_dist(self, r, u, c, comm) -> None:
         psinv_chunk(r, u, c, 0, u.shape[0] - 2)
-        _local_comm3(u, comm)
+        _local_comm3(u, comm, op="psinv")
 
     def _rprj3_dist(self, r_fine, comm) -> np.ndarray:
         """Distributed fine -> distributed coarse (both slab-aligned)."""
@@ -281,7 +617,7 @@ class DistributedMG:
         n_f = r_fine.shape[1] - 2
         s = np.zeros((nzl_c + 2, n_f // 2 + 2, n_f // 2 + 2))
         rprj3_chunk(r_fine, s, 0, nzl_c)
-        _local_comm3(s, comm)
+        _local_comm3(s, comm, op="rprj3")
         return s
 
     def _interp_dist(self, z_coarse, u_fine, comm) -> None:
@@ -296,7 +632,7 @@ class DistributedMG:
         halo planes — which the trailing exchange overwrites correctly.
         """
         interp_chunk(z_coarse, u_fine, 0, z_coarse.shape[0] - 1)
-        _local_comm3(u_fine, comm)
+        _local_comm3(u_fine, comm, op="interp")
 
     # -- the V-cycle ----------------------------------------------------------------
 

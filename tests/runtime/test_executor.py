@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.runtime.executor import ThreadTeam
+from repro.runtime.resilience import TeamError
 from repro.runtime.scheduler import Chunk, block_partition
 
 
@@ -52,6 +53,45 @@ class TestThreadTeam:
         with ThreadTeam(2) as team:
             with pytest.raises(RuntimeError, match="kernel failure"):
                 team.run(kernel, block_partition((4,), 2))
+
+    def test_single_failure_reraised_verbatim(self):
+        def kernel(chunk: Chunk) -> None:
+            if chunk.lo[0] == 0:
+                raise KeyError("only chunk 0 fails")
+
+        with ThreadTeam(2) as team:
+            with pytest.raises(KeyError, match="only chunk 0 fails"):
+                team.run(kernel, block_partition((4,), 2))
+
+    def test_multiple_failures_become_composite(self):
+        def kernel(chunk: Chunk) -> None:
+            raise ValueError(f"chunk at {chunk.lo[0]} failed")
+
+        with ThreadTeam(3) as team:
+            with pytest.raises(TeamError) as ei:
+                team.run(kernel, block_partition((9,), 3))
+        exc = ei.value
+        assert len(exc.causes) == 3
+        assert all(isinstance(c, ValueError) for c in exc.causes)
+        assert {str(c) for c in exc.causes} == {
+            "chunk at 0 failed", "chunk at 3 failed", "chunk at 6 failed",
+        }
+        assert "3 worker(s) failed" in str(exc)
+
+    def test_all_chunks_finish_before_composite_raise(self):
+        # The barrier semantics survive failure: every worker ran.
+        ran = []
+        lock = threading.Lock()
+
+        def kernel(chunk: Chunk) -> None:
+            with lock:
+                ran.append(chunk.lo[0])
+            raise RuntimeError(f"boom {chunk.lo[0]}")
+
+        with ThreadTeam(4) as team:
+            with pytest.raises(TeamError):
+                team.run(kernel, block_partition((8,), 4))
+        assert sorted(ran) == [0, 2, 4, 6]
 
     def test_single_chunk_runs_inline(self):
         ident = []

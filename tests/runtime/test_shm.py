@@ -1,5 +1,7 @@
 """Tests for process-based shared-memory execution."""
 
+from multiprocessing import shared_memory
+
 import numpy as np
 import pytest
 
@@ -45,6 +47,27 @@ class TestSharedGrid:
             finally:
                 clone.close()
 
+    def test_from_array_unlinks_segment_on_failure(self, monkeypatch):
+        # A shape mismatch makes initialization fail after the segment
+        # was allocated; the constructor must not leak it.
+        created = []
+        real = shared_memory.SharedMemory
+
+        def recording(*args, **kwargs):
+            seg = real(*args, **kwargs)
+            if kwargs.get("create"):
+                created.append(seg.name)
+            return seg
+
+        import repro.runtime.shm as shm_mod
+        monkeypatch.setattr(shm_mod.shared_memory, "SharedMemory", recording)
+        bad = np.zeros((6, 5, 5))  # not broadcastable into a (6, 6, 6) grid
+        with pytest.raises(ValueError):
+            SharedGrid.from_array(bad)
+        assert len(created) == 1
+        with pytest.raises(FileNotFoundError):
+            real(name=created[0])
+
 
 class TestProcessTeam:
     def test_invalid_size(self):
@@ -56,6 +79,37 @@ class TestProcessTeam:
         team.shutdown()
         with pytest.raises(RuntimeError):
             team.map(print, [1])
+
+    def test_exit_terminates_pool_on_exception(self):
+        team = ProcessTeam(1)
+        calls = []
+        real_terminate = team._pool.terminate
+
+        def spying_terminate():
+            calls.append("terminate")
+            real_terminate()
+
+        team._pool.terminate = spying_terminate
+        with pytest.raises(RuntimeError, match="caller failed"):
+            with team:
+                raise RuntimeError("caller failed")
+        assert calls == ["terminate"]
+        assert team._closed
+
+    def test_exit_closes_pool_cleanly_without_exception(self):
+        team = ProcessTeam(1)
+        calls = []
+        real_terminate = team._pool.terminate
+
+        def spying_terminate():
+            calls.append("terminate")
+            real_terminate()
+
+        team._pool.terminate = spying_terminate
+        with team:
+            pass
+        assert calls == []
+        assert team._closed
 
 
 @pytest.mark.parametrize("nworkers", [1, 3])

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Warm-vs-cold compile smoke check for the driver's kernel cache.
+
+Runs ``solve_sac_mg("S")`` twice, each in a *fresh* interpreter
+process, against a shared ``REPRO_SAC_CACHE_DIR``:
+
+* the cold run must build mg.sac from scratch (not served from cache),
+* the warm run must be served entirely from the on-disk cache — zero
+  optimization pass runs — and reproduce the cold residual norm
+  bit-for-bit.
+
+Exits non-zero (with a diagnostic) on any violation.  Usage:
+
+    PYTHONPATH=src python scripts/compile_cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+_PHASE_FLAG = "--phase"
+
+
+def _run_phase() -> None:
+    """Child mode: one fresh-process benchmark run; JSON on stdout."""
+    from repro.mg_sac import load_mg_program, solve_sac_mg
+
+    result = solve_sac_mg("S")
+    # Same memoization key as the call inside solve_sac_mg, so this is
+    # the very session the benchmark ran on, not a second build.
+    session = load_mg_program(True, True, (), False).session
+    json.dump(
+        {
+            "from_cache": session.from_cache(),
+            "pass_runs": session.pass_report.runs(),
+            "stages": {name: rec.status
+                       for name, rec in session.stages.items()},
+            "rnm2": result.rnm2.hex(),
+            "verified": result.verified,
+        },
+        sys.stdout,
+    )
+
+
+def _spawn(label: str, cache_dir: str) -> dict:
+    env = dict(os.environ, REPRO_SAC_CACHE_DIR=cache_dir)
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), _PHASE_FLAG, label],
+        env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        sys.exit(f"{label} run failed:\n{proc.stdout}\n{proc.stderr}")
+    data = json.loads(proc.stdout)
+    print(f"{label:>4}: from_cache={data['from_cache']} "
+          f"pass_runs={data['pass_runs']} verified={data['verified']}")
+    return data
+
+
+def main() -> int:
+    if _PHASE_FLAG in sys.argv:
+        _run_phase()
+        return 0
+
+    with tempfile.TemporaryDirectory(prefix="repro-sac-smoke-") as cache:
+        cold = _spawn("cold", cache)
+        warm = _spawn("warm", cache)
+
+    failures = []
+    if cold["from_cache"]:
+        failures.append("cold run was unexpectedly served from cache "
+                        "(cache dir not fresh?)")
+    if cold["pass_runs"] == 0:
+        failures.append("cold run reported zero optimization passes")
+    if not warm["from_cache"]:
+        failures.append("warm run was NOT served from the cache")
+    if warm["pass_runs"] != 0:
+        failures.append(f"warm run re-ran {warm['pass_runs']} optimization "
+                        "passes; expected zero work")
+    if warm["rnm2"] != cold["rnm2"]:
+        failures.append(f"warm rnm2 {warm['rnm2']} differs from cold "
+                        f"{cold['rnm2']} (not bit-identical)")
+    for label, data in (("cold", cold), ("warm", warm)):
+        if not data["verified"]:
+            failures.append(f"{label} run failed NPB verification")
+
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("OK: warm run served from cache, bit-identical, zero pass runs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,12 +53,19 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate the evaluation of 'Implementing the NAS "
         "Benchmark MG in SAC' (IPPS 2002).",
     )
+    known = sorted(_SIMPLE) + ["measure", "ablation", "verify",
+                               "npb", "timers", "all"]
     parser.add_argument(
         "commands",
-        nargs="+",
-        choices=sorted(_SIMPLE) + ["measure", "ablation", "verify",
-                                   "npb", "timers", "all"],
-        help="figures/analyses to run",
+        nargs="*",
+        default=[],
+        metavar="command",
+        help="figures/analyses to run: " + ", ".join(known),
+    )
+    parser.add_argument(
+        "--pass-report", action="store_true",
+        help="print the compiler driver's per-pass timing/rewrite table "
+        "for a cold mg.sac build",
     )
     parser.add_argument(
         "-c", "--size-class", default="S",
@@ -73,6 +80,13 @@ def main(argv: list[str] | None = None) -> int:
         help="additionally dump the raw result data as JSON",
     )
     args = parser.parse_args(argv)
+    bad = [c for c in args.commands if c not in known]
+    if bad:
+        parser.error(f"invalid command(s) {', '.join(bad)} "
+                     f"(choose from {', '.join(known)})")
+    if not args.commands and not args.pass_report:
+        parser.error("nothing to do: give at least one command "
+                     "or --pass-report")
 
     commands = list(args.commands)
     if "all" in commands:
@@ -118,6 +132,13 @@ def main(argv: list[str] | None = None) -> int:
             print(format_npb_report(rep))
         elif cmd == "verify":
             status |= _run_verify(args.size_class)
+    if args.pass_report:
+        if not first:
+            print()
+        data = experiments.pass_report()
+        collected["pass_report"] = {k: v for k, v in data.items()
+                                    if k != "table"}
+        print(report.format_pass_report(data))
     if args.json:
         import json
 

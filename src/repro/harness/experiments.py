@@ -38,6 +38,7 @@ __all__ = [
     "fig12",
     "fig13",
     "ops_table",
+    "pass_report",
     "sac_ablation",
     "memmgmt_profile",
     "related_work",
@@ -178,6 +179,41 @@ def ops_table() -> dict:
 # ---------------------------------------------------------------------------
 # Ablations.
 # ---------------------------------------------------------------------------
+
+def pass_report() -> dict:
+    """Instrument a cold build of ``mg.sac`` through the compiler driver.
+
+    Forces a real pipeline run (memory-only cache, so a warm on-disk
+    entry cannot short-circuit it) and returns the per-stage and
+    per-pass-execution rows from the
+    :class:`~repro.sac.driver.passes.PassManager`.
+    """
+    from repro.mg_sac.loader import mg_source_path
+    from repro.sac import CompileOptions
+    from repro.sac.driver import CompilationSession, KernelCache
+
+    session = CompilationSession.from_file(
+        mg_source_path(),
+        CompileOptions(analyze=True),
+        cache=KernelCache(memory_only=True),
+    )
+    report = session.pass_report
+    return {
+        "source": str(mg_source_path()),
+        "stages": [
+            {"stage": rec.name, "status": rec.status,
+             "seconds": rec.seconds, "detail": rec.detail}
+            for rec in session.stages.values()
+        ],
+        "executions": [
+            {"pass": e.name, "seconds": e.seconds,
+             "rewrites": e.rewrites, "iteration": e.iteration}
+            for e in report.executions
+        ],
+        "table": report.format_table(),
+        "total_seconds": report.total_seconds(),
+    }
+
 
 def sac_ablation(size_class: str = "S", nit: int | None = None,
                  repeats: int = 3) -> dict:

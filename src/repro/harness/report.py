@@ -13,6 +13,7 @@ __all__ = [
     "format_fig13",
     "format_ops",
     "format_ablation",
+    "format_pass_report",
     "format_memmgmt",
 ]
 
@@ -174,6 +175,21 @@ def format_related(data: dict) -> str:
         + ", ".join(f"P={p}: {s:.2f}" for p, s in sorted(zs.items()))
         + f"   (paper: ~{claims['zpl_max_speedup_14']:.0f} at 14 CPUs)"
     )
+    return "\n".join(lines)
+
+
+def format_pass_report(data: dict) -> str:
+    lines = [
+        f"compiler driver pass report — cold build of {data['source']}",
+        _rule(),
+        "stages:",
+    ]
+    for row in data["stages"]:
+        lines.append(f"  {row['stage']:<10} {row['status']:<8} "
+                     f"{row['seconds'] * 1e3:>9.2f} ms  {row['detail']}")
+    lines.append("")
+    lines.append("passes (aggregated over executions):")
+    lines.extend("  " + ln for ln in data["table"].splitlines())
     return "\n".join(lines)
 
 

@@ -32,6 +32,14 @@ def load_mg_program(optimize: bool = True, vectorize: bool = True,
                     analyze: bool = True) -> SacProgram:
     """Load (and memoize) the MG program under the given options.
 
+    Builds go through a
+    :class:`~repro.sac.driver.session.CompilationSession`: within a
+    process this ``lru_cache`` memoizes the facade, and across processes
+    the driver's content-addressed program/kernel cache (see
+    ``docs/COMPILER.md``) serves warm loads with zero parse or
+    optimization work — the second ``solve_sac_mg("S")`` in a fresh
+    interpreter skips the whole middle end.
+
     ``analyze`` (default on) runs the static analyzer as a build gate:
     the program must come out free of error-severity findings — in
     particular, every WITH-loop must be certified race-free for SPMD

@@ -142,19 +142,33 @@ def _plane_chunks(nplanes: int, team: ThreadTeam) -> list[Chunk]:
     return block_partition((nplanes,), team.nthreads)
 
 
-def parallel_resid(u: np.ndarray, v: np.ndarray, a, team: ThreadTeam) -> np.ndarray:
+def parallel_resid(u: np.ndarray, v: np.ndarray, a, team: ThreadTeam,
+                   lib=None) -> np.ndarray:
+    """``r = v - A u``; with ``lib`` (a
+    :class:`~repro.runtime.kernels.SacKernelLibrary`) the per-slab
+    stencil is the compiled SAC ``RelaxKernel`` instead of the NumPy
+    chunk kernel — one shared specialization per slab shape."""
     r = np.zeros_like(u)
     m = u.shape[0] - 2
-    team.run(lambda c: resid_chunk(u, v, a, r, c.lo[0], c.hi[0]),
-             _plane_chunks(m, team))
+    if lib is not None:
+        team.run(lambda c: lib.resid_slab(u, v, a, r, c.lo[0], c.hi[0]),
+                 _plane_chunks(m, team))
+    else:
+        team.run(lambda c: resid_chunk(u, v, a, r, c.lo[0], c.hi[0]),
+                 _plane_chunks(m, team))
     comm3(r)
     return r
 
 
-def parallel_psinv(r: np.ndarray, u: np.ndarray, c, team: ThreadTeam) -> np.ndarray:
+def parallel_psinv(r: np.ndarray, u: np.ndarray, c, team: ThreadTeam,
+                   lib=None) -> np.ndarray:
     m = u.shape[0] - 2
-    team.run(lambda ch: psinv_chunk(r, u, c, ch.lo[0], ch.hi[0]),
-             _plane_chunks(m, team))
+    if lib is not None:
+        team.run(lambda ch: lib.psinv_slab(r, u, c, ch.lo[0], ch.hi[0]),
+                 _plane_chunks(m, team))
+    else:
+        team.run(lambda ch: psinv_chunk(r, u, c, ch.lo[0], ch.hi[0]),
+                 _plane_chunks(m, team))
     comm3(u)
     return u
 
@@ -182,10 +196,27 @@ def parallel_interp_add(z: np.ndarray, u: np.ndarray, team: ThreadTeam) -> np.nd
 
 
 class ParallelMG:
-    """The full benchmark through the fork-join kernels."""
+    """The full benchmark through the fork-join kernels.
 
-    def __init__(self, nthreads: int):
+    ``kernels="numpy"`` (default) runs the expression-order-exact chunk
+    kernels (bit-identical to serial).  ``kernels="sac"`` runs the
+    residual and smoother sweeps through compiled SAC ``RelaxKernel``
+    specializations from the shared driver cache — each slab shape is
+    compiled once (or loaded warm from disk) and shared by every worker
+    thread; results then match serial to floating-point tolerance.
+    """
+
+    def __init__(self, nthreads: int, *, kernels: str = "numpy"):
+        if kernels not in ("numpy", "sac"):
+            raise ValueError(f"kernels must be 'numpy' or 'sac', "
+                             f"got {kernels!r}")
         self.nthreads = nthreads
+        self.kernels = kernels
+        self.kernel_library = None
+        if kernels == "sac":
+            from .kernels import SacKernelLibrary
+
+            self.kernel_library = SacKernelLibrary()
 
     def solve(self, size_class: str | SizeClass,
               nit: int | None = None) -> MGResult:
@@ -194,25 +225,26 @@ class ParallelMG:
         a = A_COEFFS
         c = S_COEFFS_A if sc.smoother == "a" else S_COEFFS_B
         lt, lb = sc.lt, 1
+        lib = self.kernel_library
         with ThreadTeam(self.nthreads) as team:
             u = make_grid(sc.nx)
             v = zran3(sc.nx)
-            r = {lt: parallel_resid(u, v, a, team)}
+            r = {lt: parallel_resid(u, v, a, team, lib)}
             for _ in range(iters):
                 for k in range(lt, lb, -1):
                     r[k - 1] = parallel_rprj3(r[k], team)
                 uk = make_grid(1 << lb)
-                parallel_psinv(r[lb], uk, c, team)
+                parallel_psinv(r[lb], uk, c, team, lib)
                 u_levels = {lb: uk}
                 for k in range(lb + 1, lt):
                     uk = make_grid(1 << k)
                     parallel_interp_add(u_levels[k - 1], uk, team)
-                    r[k] = parallel_resid(uk, r[k], a, team)
-                    parallel_psinv(r[k], uk, c, team)
+                    r[k] = parallel_resid(uk, r[k], a, team, lib)
+                    parallel_psinv(r[k], uk, c, team, lib)
                     u_levels[k] = uk
                 parallel_interp_add(u_levels[lt - 1], u, team)
-                r[lt] = parallel_resid(u, v, a, team)
-                parallel_psinv(r[lt], u, c, team)
-                r[lt] = parallel_resid(u, v, a, team)
+                r[lt] = parallel_resid(u, v, a, team, lib)
+                parallel_psinv(r[lt], u, c, team, lib)
+                r[lt] = parallel_resid(u, v, a, team, lib)
             rnm2, rnmu = norm2u3(r[lt])
         return MGResult(sc, rnm2, rnmu, u, r[lt])

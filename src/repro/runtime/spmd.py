@@ -434,9 +434,13 @@ class DistributedMG:
     def __init__(self, nranks: int, *, timeout: float | None = None,
                  join_timeout: float | None = None,
                  fault_plan: FaultPlan | None = None,
-                 halo_checksums: bool = False, halo_retries: int = 2):
+                 halo_checksums: bool = False, halo_retries: int = 2,
+                 kernels: str = "numpy"):
         if nranks < 1 or nranks & (nranks - 1):
             raise ValueError("nranks must be a power of two")
+        if kernels not in ("numpy", "sac"):
+            raise ValueError(f"kernels must be 'numpy' or 'sac', "
+                             f"got {kernels!r}")
         self.nranks = nranks
         self.timeout = timeout
         self.join_timeout = join_timeout
@@ -444,6 +448,16 @@ class DistributedMG:
         self.halo_checksums = halo_checksums
         self.halo_retries = halo_retries
         self.last_world: World | None = None
+        # kernels="sac": the residual/smoother sweeps run the compiled
+        # SAC RelaxKernel.  The library is shared by every rank thread
+        # and backed by the driver's content-addressed cache, so each
+        # slab shape is compiled exactly once per machine — ranks REUSE
+        # kernels rather than each recompiling their own.
+        self.kernel_library = None
+        if kernels == "sac":
+            from .kernels import SacKernelLibrary
+
+            self.kernel_library = SacKernelLibrary()
 
     # levels with at least 2 planes per rank are distributed.
     def _distributed(self, k: int) -> bool:
@@ -602,12 +616,18 @@ class DistributedMG:
 
     def _resid_dist(self, u, v, a, comm) -> np.ndarray:
         r = np.zeros_like(u)
-        resid_chunk(u, v, a, r, 0, u.shape[0] - 2)
+        if self.kernel_library is not None:
+            self.kernel_library.resid_slab(u, v, a, r, 0, u.shape[0] - 2)
+        else:
+            resid_chunk(u, v, a, r, 0, u.shape[0] - 2)
         _local_comm3(r, comm, op="resid")
         return r
 
     def _psinv_dist(self, r, u, c, comm) -> None:
-        psinv_chunk(r, u, c, 0, u.shape[0] - 2)
+        if self.kernel_library is not None:
+            self.kernel_library.psinv_slab(r, u, c, 0, u.shape[0] - 2)
+        else:
+            psinv_chunk(r, u, c, 0, u.shape[0] - 2)
         _local_comm3(u, comm, op="psinv")
 
     def _rprj3_dist(self, r_fine, comm) -> np.ndarray:

@@ -20,11 +20,26 @@ from .errors import (
     SacArityError,
     SacError,
     SacNameError,
+    SacOptionError,
     SacRuntimeError,
     SacSyntaxError,
     SacTypeError,
 )
-from .codegen import CodegenUnsupported, CompiledFunction, compile_function
+from .codegen import (
+    CodegenUnsupported,
+    CompiledFunction,
+    KernelArtifact,
+    compile_function,
+)
+from .driver import (
+    CompilationSession,
+    Fixpoint,
+    KernelCache,
+    PassManager,
+    PassReport,
+    StageRecord,
+    default_cache,
+)
 from .interp import FunctionTable, Interpreter, InterpOptions
 from .lexer import tokenize
 from .module import CompileOptions, SacProgram
@@ -38,6 +53,15 @@ from .stdlib import PRELUDE_SOURCE, load_prelude
 __all__ = [
     "SacProgram",
     "CompileOptions",
+    "CompilationSession",
+    "StageRecord",
+    "PassManager",
+    "PassReport",
+    "Fixpoint",
+    "KernelCache",
+    "KernelArtifact",
+    "default_cache",
+    "SacOptionError",
     "PassOptions",
     "optimize_program",
     "FunctionTable",

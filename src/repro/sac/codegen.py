@@ -22,48 +22,40 @@ call time.  Data-dependent control flow and non-affine WITH-loops raise
 
 from __future__ import annotations
 
-import dataclasses
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from .ast_nodes import (
-    Assign,
-    DoWhile,
-    BinOp,
-    Block,
-    BoolLit,
-    Call,
     Dot,
-    DoubleLit,
     Expr,
-    ExprStmt,
     FoldOp,
-    For,
     FunDef,
     GenarrayOp,
-    If,
-    IntLit,
     ModarrayOp,
-    Program,
-    Return,
-    Select,
-    Stmt,
-    UnOp,
-    Var,
-    VectorLit,
-    While,
     WithLoop,
 )
-from .builtins import FOLD_UFUNCS, int_div, int_mod
+from .ast_visit import ReturnValue, StatementExecutor
+from .builtins import FOLD_UFUNCS
 from .errors import SacError, SacRuntimeError, SacTypeError
 from .interp import FunctionTable
 from .sactypes import BaseType, SacType
 from .values import AffineAxis, IndexView, coerce_value, is_int_vector
 from .withloop import IndexSpace
 
-__all__ = ["CodegenUnsupported", "CompiledFunction",
-           "compile_function", "compile_fundef"]
+__all__ = ["CodegenUnsupported", "CompiledFunction", "KernelArtifact",
+           "compile_function", "compile_fundef", "trace_fundef",
+           "load_artifact", "trace_event_count"]
+
+#: Process-wide count of specializing traces performed (monotonic).
+#: Warm-path tests assert this does not move when every kernel is
+#: served from the content-addressed cache.
+_trace_events = 0
+
+
+def trace_event_count() -> int:
+    """How many specializing traces this process has performed."""
+    return _trace_events
 
 
 class CodegenUnsupported(SacError):
@@ -224,13 +216,13 @@ _EW_BUILTINS = {
 }
 
 
-class _ReturnTrace(Exception):
-    def __init__(self, value):
-        self.value = value
+class Tracer(StatementExecutor):
+    """Specializing abstract interpreter that emits NumPy code.
 
-
-class Tracer:
-    """Specializing abstract interpreter that emits NumPy code."""
+    Statement control flow comes from the shared
+    :class:`~repro.sac.ast_visit.StatementExecutor`; expression dispatch
+    goes through its per-class ``eval_<ClassName>`` table.
+    """
 
     def __init__(self, functions: FunctionTable, emitter: Emitter,
                  max_depth: int = 200, max_statements: int = 200_000):
@@ -385,7 +377,7 @@ class Tracer:
         self._depth += 1
         try:
             self.exec_block(fun.body, env)
-        except _ReturnTrace as ret:
+        except ReturnValue as ret:
             return ret.value
         finally:
             self._depth -= 1
@@ -394,94 +386,82 @@ class Tracer:
         raise SacRuntimeError(f"function {fun.name!r} did not return a value")
 
     # -- statements ----------------------------------------------------------------
+    # Control flow comes from the shared StatementExecutor; the hooks
+    # below supply the tracer-specific pieces.
 
-    def exec_block(self, block: Block, env: dict) -> None:
-        for stmt in block.statements:
-            self.exec_stmt(stmt, env)
-
-    def exec_stmt(self, stmt: Stmt, env: dict) -> None:
+    def before_stmt(self, stmt) -> None:
         self._guard_size()
-        if isinstance(stmt, Assign):
-            env[stmt.target] = self.eval(stmt.value, env)
-        elif isinstance(stmt, Return):
-            raise _ReturnTrace(self.eval(stmt.value, env))
-        elif isinstance(stmt, ExprStmt):
-            self.eval(stmt.expr, env)
-        elif isinstance(stmt, Block):
-            self.exec_block(stmt, env)
-        elif isinstance(stmt, If):
-            if self._concrete_bool(self.eval(stmt.cond, env), "branch"):
-                self.exec_block(stmt.then, env)
-            elif stmt.orelse is not None:
-                self.exec_block(stmt.orelse, env)
-        elif isinstance(stmt, For):
-            self.exec_stmt(stmt.init, env)
-            while self._concrete_bool(self.eval(stmt.cond, env), "loop bound"):
-                self.exec_block(stmt.body, env)
-                self.exec_stmt(stmt.update, env)
-        elif isinstance(stmt, While):
-            while self._concrete_bool(self.eval(stmt.cond, env), "loop bound"):
-                self.exec_block(stmt.body, env)
-        elif isinstance(stmt, DoWhile):
-            while True:
-                self.exec_block(stmt.body, env)
-                if not self._concrete_bool(self.eval(stmt.cond, env),
-                                           "loop bound"):
-                    break
-        else:  # pragma: no cover
-            raise CodegenUnsupported(
-                f"unknown statement {type(stmt).__name__}"
-            )
+
+    def bind(self, env: dict, name: str, value) -> None:
+        env[name] = value
+
+    def exec_cond(self, expr: Expr, env: dict, what: str) -> bool:
+        return self._concrete_bool(self.eval_expr(expr, env), what)
+
+    def unknown_stmt(self, stmt, env) -> None:  # pragma: no cover
+        raise CodegenUnsupported(f"unknown statement {type(stmt).__name__}")
 
     # -- expressions ------------------------------------------------------------------
 
-    def eval(self, expr: Expr, env: dict):
-        if isinstance(expr, IntLit):
-            return expr.value
-        if isinstance(expr, DoubleLit):
-            return expr.value
-        if isinstance(expr, BoolLit):
-            return expr.value
-        if isinstance(expr, Var):
-            try:
-                return env[expr.name]
-            except KeyError:
-                from .errors import SacNameError
+    def eval_IntLit(self, expr, env: dict):
+        return expr.value
 
-                raise SacNameError(f"undefined variable {expr.name!r}",
-                                   expr.pos) from None
-        if isinstance(expr, VectorLit):
-            return self._vector(expr, env)
-        if isinstance(expr, BinOp):
-            return self._binop(expr.op, self.eval(expr.left, env),
-                               self.eval(expr.right, env))
-        if isinstance(expr, UnOp):
-            v = self.eval(expr.operand, env)
-            if isinstance(v, IndexView):
-                if expr.op == "-":
-                    return v.mul(-1)
-                raise CodegenUnsupported("'!' on an index vector")
-            if _is_concrete(v):
-                from .builtins import apply_unop
+    def eval_DoubleLit(self, expr, env: dict):
+        return expr.value
 
-                return coerce_value(apply_unop(expr.op, v))
-            code = f"(-{v.code})" if expr.op == "-" else \
-                f"np.logical_not({v.code})"
-            return self.em.assign(code, v.shape, v.dtype)
-        if isinstance(expr, Call):
-            return self.apply(expr.name, [self.eval(a, env) for a in expr.args])
-        if isinstance(expr, Select):
-            return self._select(
-                self.eval(expr.array, env), self.eval(expr.index, env)
-            )
-        if isinstance(expr, WithLoop):
-            return self._withloop(expr, env)
-        if isinstance(expr, Dot):
-            raise SacRuntimeError("'.' is only legal inside a generator")
+    def eval_BoolLit(self, expr, env: dict):
+        return expr.value
+
+    def eval_Var(self, expr, env: dict):
+        try:
+            return env[expr.name]
+        except KeyError:
+            from .errors import SacNameError
+
+            raise SacNameError(f"undefined variable {expr.name!r}",
+                               expr.pos) from None
+
+    def eval_VectorLit(self, expr, env: dict):
+        return self._vector(expr, env)
+
+    def eval_BinOp(self, expr, env: dict):
+        return self._binop(expr.op, self.eval_expr(expr.left, env),
+                           self.eval_expr(expr.right, env))
+
+    def eval_UnOp(self, expr, env: dict):
+        v = self.eval_expr(expr.operand, env)
+        if isinstance(v, IndexView):
+            if expr.op == "-":
+                return v.mul(-1)
+            raise CodegenUnsupported("'!' on an index vector")
+        if _is_concrete(v):
+            from .builtins import apply_unop
+
+            return coerce_value(apply_unop(expr.op, v))
+        code = f"(-{v.code})" if expr.op == "-" else \
+            f"np.logical_not({v.code})"
+        return self.em.assign(code, v.shape, v.dtype)
+
+    def eval_Call(self, expr, env: dict):
+        return self.apply(expr.name,
+                          [self.eval_expr(a, env) for a in expr.args])
+
+    def eval_Select(self, expr, env: dict):
+        return self._select(
+            self.eval_expr(expr.array, env), self.eval_expr(expr.index, env)
+        )
+
+    def eval_WithLoop(self, expr, env: dict):
+        return self._withloop(expr, env)
+
+    def eval_Dot(self, expr, env: dict):
+        raise SacRuntimeError("'.' is only legal inside a generator")
+
+    def unknown_expr(self, expr, env):
         raise CodegenUnsupported(f"unknown expression {type(expr).__name__}")
 
-    def _vector(self, expr: VectorLit, env: dict):
-        values = [self.eval(e, env) for e in expr.elements]
+    def _vector(self, expr, env: dict):
+        values = [self.eval_expr(e, env) for e in expr.elements]
         if all(_is_concrete(v) for v in values):
             arr = np.asarray([coerce_value(v) for v in values])
             if np.issubdtype(arr.dtype, np.integer):
@@ -608,14 +588,14 @@ class Tracer:
         frame_shape = None
         base = None
         if isinstance(op, GenarrayOp):
-            shp_v = self.eval(op.shape, env)
+            shp_v = self.eval_expr(op.shape, env)
             if not _is_concrete(shp_v):
                 raise CodegenUnsupported("symbolic genarray shape")
             shp_arr = np.atleast_1d(np.asarray(coerce_value(shp_v)))
             shp = tuple(int(x) for x in shp_arr)
             frame_shape = shp
         elif isinstance(op, ModarrayOp):
-            base = self.eval(op.array, env)
+            base = self.eval_expr(op.array, env)
             frame_shape = _shape_of(base)
             if not frame_shape and not isinstance(base, (TArray, np.ndarray)):
                 raise SacTypeError("modarray frame must be an array")
@@ -637,7 +617,7 @@ class Tracer:
         if concrete is not None:
             return concrete
 
-        body = self.eval(op.body, body_env)
+        body = self.eval_expr(op.body, body_env)
         cell = self._cell_shape(body, space)
         if isinstance(op, GenarrayOp):
             dtype = _dtype_of(body)
@@ -674,7 +654,7 @@ class Tracer:
         # Keep big double arrays symbolic.
         snapshot = len(self.em.lines)
         try:
-            body = self.eval(op.body, body_env)
+            body = self.eval_expr(op.body, body_env)
         except CodegenUnsupported:
             raise
         if not _is_concrete(body) or isinstance(body, IndexView):
@@ -718,10 +698,10 @@ class Tracer:
         return shape
 
     def _fold(self, op: FoldOp, body_env: dict, space: IndexSpace, env: dict):
-        neutral = self.eval(op.neutral, env)
+        neutral = self.eval_expr(op.neutral, env)
         if space.is_empty:
             return neutral
-        body = self.eval(op.body, body_env)
+        body = self.eval_expr(op.body, body_env)
         ufunc = FOLD_UFUNCS.get(op.fun)
         if ufunc is None:
             raise CodegenUnsupported(
@@ -781,7 +761,7 @@ class Tracer:
                 if is_upper:
                     return np.asarray(frame_shape, dtype=np.int64) - 1
                 return np.zeros(len(frame_shape), dtype=np.int64)
-            v = self.eval(expr, env)
+            v = self.eval_expr(expr, env)
             if not _is_concrete(v):
                 raise CodegenUnsupported("symbolic generator bound")
             v = coerce_value(v)
@@ -803,7 +783,7 @@ class Tracer:
             hi = hi + 1
         rank = len(lo)
         if gen.step is not None:
-            sv = self.eval(gen.step, env)
+            sv = self.eval_expr(gen.step, env)
             if not _is_concrete(sv):
                 raise CodegenUnsupported("symbolic generator step")
             sv = coerce_value(sv)
@@ -856,6 +836,24 @@ def _sac_imod(a, b):
 '''
 
 
+@dataclass(frozen=True)
+class KernelArtifact:
+    """The persistable product of one specializing trace.
+
+    Everything needed to rebuild an executable
+    :class:`CompiledFunction` — the generated module source, the
+    parameter order, and the baked-in constants — with no AST, tracer or
+    interpreter state.  Artifacts are plain data (strings, tuples,
+    NumPy scalars/arrays), so they pickle cleanly into the
+    content-addressed kernel cache and reload across processes.
+    """
+
+    name: str
+    source: str
+    signature: tuple[str, ...]
+    baked: dict[str, object]
+
+
 @dataclass
 class CompiledFunction:
     """A specialized, executable translation of one SAC function."""
@@ -865,6 +863,12 @@ class CompiledFunction:
     signature: tuple[str, ...]
     baked: dict[str, object]
     _callable: object = field(repr=False, default=None)
+
+    @property
+    def artifact(self) -> KernelArtifact:
+        """The persistable artifact this function was loaded from."""
+        return KernelArtifact(self.name, self.source, self.signature,
+                              self.baked)
 
     def __call__(self, *args):
         if len(args) != len(self.signature):
@@ -892,13 +896,21 @@ class CompiledFunction:
 
 
 def compile_function(program_or_table, fname: str, example_args,
-                     max_statements: int = 200_000) -> CompiledFunction:
+                     max_statements: int = 200_000, *,
+                     cache=None, program_digest: str | None = None
+                     ) -> CompiledFunction:
     """Specialize ``fname`` for the shapes/values of ``example_args``.
 
     Float/bool arrays stay symbolic (shape-specialized); ints, int
     vectors and scalar floats are baked in as constants.  Returns a
     :class:`CompiledFunction` whose ``source`` is a standalone Python
     module.
+
+    With ``cache`` (a :class:`repro.sac.driver.cache.KernelCache`) and
+    ``program_digest``, the specialization is looked up in — and traced
+    into — the shared content-addressed cache, so repeated calls with
+    the same program, options and argument shapes skip tracing entirely,
+    in this process and in later ones.
     """
     if isinstance(program_or_table, FunctionTable):
         table = program_or_table
@@ -917,15 +929,32 @@ def compile_function(program_or_table, fname: str, example_args,
         ):
             a = a.astype(np.float64)
         ingested.append(coerce_value(a))
+    if cache is not None and program_digest is not None:
+        from .driver.cache import kernel_key, shape_signature
+
+        key = kernel_key(program_digest, fname, shape_signature(ingested))
+        compiled = cache.get_kernel(key)
+        if compiled is not None:
+            return compiled
+        probe_types = [_type_of(_probe_value(a)) for a in ingested]
+        fun = table.resolve(fname, probe_types)
+        artifact = trace_fundef(table, fun, ingested,
+                                max_statements=max_statements)
+        cache.put_kernel(key, artifact)
+        return load_artifact(artifact)
     probe_types = [_type_of(_probe_value(a)) for a in ingested]
     fun = table.resolve(fname, probe_types)
     return compile_fundef(table, fun, ingested,
                           max_statements=max_statements)
 
 
-def compile_fundef(table: FunctionTable, fun: FunDef, example_args,
-                   max_statements: int = 200_000) -> CompiledFunction:
-    """Specialize one resolved overload (see :func:`compile_function`)."""
+def trace_fundef(table: FunctionTable, fun: FunDef, example_args,
+                 max_statements: int = 200_000) -> KernelArtifact:
+    """Trace/specialize one resolved overload into a persistable
+    :class:`KernelArtifact` (no executable is built — see
+    :func:`load_artifact` for that half)."""
+    global _trace_events
+    _trace_events += 1
     em = Emitter()
     tracer = Tracer(table, em, max_statements=max_statements)
     fname = fun.name
@@ -961,15 +990,34 @@ def compile_fundef(table: FunctionTable, fun: FunDef, example_args,
         + (consts + "\n\n" if consts else "")
         + f"def {fname}({params}):\n{body}\n"
     )
-    namespace: dict = {}
-    exec(compile(source, f"<sac-codegen:{fname}>", "exec"), namespace)
-    return CompiledFunction(
+    return KernelArtifact(
         name=fname,
         source=source,
         signature=tuple(p.name for p in fun.params),
         baked=baked,
-        _callable=namespace[fname],
     )
+
+
+def load_artifact(artifact: KernelArtifact) -> CompiledFunction:
+    """Build the executable for a (possibly cached) artifact by
+    exec-ing its generated module source."""
+    namespace: dict = {}
+    exec(compile(artifact.source, f"<sac-codegen:{artifact.name}>", "exec"),
+         namespace)
+    return CompiledFunction(
+        name=artifact.name,
+        source=artifact.source,
+        signature=artifact.signature,
+        baked=artifact.baked,
+        _callable=namespace[artifact.name],
+    )
+
+
+def compile_fundef(table: FunctionTable, fun: FunDef, example_args,
+                   max_statements: int = 200_000) -> CompiledFunction:
+    """Specialize one resolved overload (see :func:`compile_function`)."""
+    return load_artifact(trace_fundef(table, fun, example_args,
+                                      max_statements=max_statements))
 
 
 def _probe_value(a):

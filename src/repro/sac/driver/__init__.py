@@ -1,0 +1,59 @@
+"""The compiler driver: sessions, the pass manager, the kernel cache.
+
+This package is the seam between the individual compiler components
+(parser, typechecker, analyzer, optimization passes, codegen backend)
+and their consumers.  It owns three pieces:
+
+* :mod:`repro.sac.driver.passes` — a declarative, instrumented
+  :class:`PassManager` replacing the hardwired pass chain: passes are
+  registered with the invalidations they declare, schedules may contain
+  fixpoint groups, and every execution records wall time and rewrite
+  counts (plus optional before/after pretty-print snapshots).
+* :mod:`repro.sac.driver.cache` — a content-addressed
+  :class:`KernelCache` (in-memory + on-disk) for optimized programs and
+  compiled kernel specializations, keyed by source digest ×
+  compile options × shape signature.
+* :mod:`repro.sac.driver.session` — :class:`CompilationSession`, the
+  staged pipeline (parsed → linked → typechecked → analyzed →
+  optimized → backend) that owns the artifacts, reports which stages
+  were served from cache, and hands consumers a ready interpreter.
+
+See ``docs/COMPILER.md`` for the full stage/artifact model.
+"""
+
+from __future__ import annotations
+
+from .cache import (
+    KernelCache,
+    default_cache,
+    kernel_key,
+    program_key,
+    shape_signature,
+    source_digest,
+)
+from .passes import (
+    Fixpoint,
+    PassExecution,
+    PassManager,
+    PassReport,
+    PassSpec,
+    registered_passes,
+)
+from .session import CompilationSession, StageRecord
+
+__all__ = [
+    "CompilationSession",
+    "StageRecord",
+    "PassManager",
+    "PassSpec",
+    "PassExecution",
+    "PassReport",
+    "Fixpoint",
+    "registered_passes",
+    "KernelCache",
+    "default_cache",
+    "kernel_key",
+    "program_key",
+    "shape_signature",
+    "source_digest",
+]

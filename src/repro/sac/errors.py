@@ -13,6 +13,7 @@ __all__ = [
     "SacRuntimeError",
     "SacArityError",
     "SacAnalysisError",
+    "SacOptionError",
 ]
 
 
@@ -55,6 +56,19 @@ class SacArityError(SacError):
 
 class SacRuntimeError(SacError):
     """Error raised while evaluating a SAC program."""
+
+
+class SacOptionError(SacError):
+    """Invalid compiler configuration (e.g. an unknown pass name).
+
+    Carries the catalogue ``code`` (``SAC010``) so harnesses can match
+    on it like any other coded diagnostic.
+    """
+
+    def __init__(self, message: str, code: str = "SAC010",
+                 pos: SourcePos | None = None):
+        super().__init__(f"[{code}] {message}", pos)
+        self.code = code
 
 
 class SacAnalysisError(SacError):

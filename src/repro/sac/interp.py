@@ -8,34 +8,12 @@ in the affine/abstract domain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from .ast_nodes import (
-    Assign,
-    BinOp,
-    Block,
-    BoolLit,
-    Call,
-    Dot,
-    DoubleLit,
-    DoWhile,
-    Expr,
-    ExprStmt,
-    For,
-    FunDef,
-    If,
-    IntLit,
-    Program,
-    Return,
-    Select,
-    UnOp,
-    Var,
-    VectorLit,
-    While,
-    WithLoop,
-)
+from .ast_nodes import BinOp, Call, Dot, Expr, FunDef, Program
+from .ast_visit import ReturnValue, StatementExecutor
 from .builtins import apply_binop, apply_unop, call_builtin, is_builtin
 from .errors import (
     SacArityError,
@@ -86,13 +64,6 @@ class Env:
 
     def child(self, bindings: dict | None = None) -> "Env":
         return Env(bindings or {}, self)
-
-
-class _ReturnSignal(Exception):
-    __slots__ = ("value",)
-
-    def __init__(self, value):
-        self.value = value
 
 
 class FunctionTable:
@@ -181,15 +152,25 @@ def _dispatch_type(v) -> SacType:
     return value_type(v)
 
 
-class Interpreter:
-    """Evaluator over a :class:`FunctionTable`."""
+class Interpreter(StatementExecutor):
+    """Evaluator over a :class:`FunctionTable`.
+
+    When ``kernel_cache`` (a :class:`repro.sac.driver.cache.KernelCache`)
+    and ``program_digest`` are supplied, the JIT requests compiled
+    specializations from that shared content-addressed cache instead of
+    tracing privately — a kernel traced by any interpreter, thread, or
+    earlier process over the same program is reused here.
+    """
 
     def __init__(self, functions: FunctionTable,
-                 options: InterpOptions | None = None):
+                 options: InterpOptions | None = None, *,
+                 kernel_cache=None, program_digest: str | None = None):
         self.functions = functions
         self.options = options or InterpOptions()
+        self.kernel_cache = kernel_cache
+        self.program_digest = program_digest
         self._depth = 0
-        # JIT state: per (function, signature) call counts, compiled
+        # JIT state: per (function, signature) call counts, loaded
         # specializations, and signatures codegen refused.
         self._jit_counts: dict = {}
         self._jit_cache: dict = {}
@@ -261,6 +242,18 @@ class Interpreter:
                 parts.append(("const", type(a).__name__, a))
         return tuple(parts)
 
+    def _kernel_cache_key(self, fun: FunDef, args: list):
+        """Content-addressed key into the shared kernel cache, or None
+        when this interpreter has no shared-cache identity."""
+        if self.kernel_cache is None or self.program_digest is None:
+            return None
+        from .driver.cache import kernel_key, shape_signature
+
+        overload = f"{fun.name}(" + ",".join(
+            str(p.type) for p in fun.params
+        ) + ")"
+        return kernel_key(self.program_digest, overload, shape_signature(args))
+
     def _jit_lookup(self, fun: FunDef, args: list):
         sig = self._jit_signature(fun, args)
         if sig is None or sig in self._jit_blocked:
@@ -272,14 +265,22 @@ class Interpreter:
         self._jit_counts[sig] = count
         if count < self.options.jit_threshold:
             return None
-        from .codegen import CodegenUnsupported, compile_fundef
+        from .codegen import CodegenUnsupported, load_artifact, trace_fundef
         from .errors import SacError
 
-        try:
-            compiled = compile_fundef(self.functions, fun, args)
-        except (CodegenUnsupported, SacError):
-            self._jit_blocked.add(sig)
-            return None
+        key = self._kernel_cache_key(fun, args)
+        compiled = None
+        if key is not None:
+            compiled = self.kernel_cache.get_kernel(key)
+        if compiled is None:
+            try:
+                artifact = trace_fundef(self.functions, fun, args)
+            except (CodegenUnsupported, SacError):
+                self._jit_blocked.add(sig)
+                return None
+            compiled = load_artifact(artifact)
+            if key is not None:
+                self.kernel_cache.put_kernel(key, artifact)
         self._jit_cache[sig] = compiled
         return compiled
 
@@ -302,7 +303,7 @@ class Interpreter:
         self._depth += 1
         try:
             self.exec_block(fun.body, env)
-        except _ReturnSignal as ret:
+        except ReturnValue as ret:
             return ret.value
         finally:
             self._depth -= 1
@@ -311,49 +312,14 @@ class Interpreter:
         raise SacRuntimeError(f"function {fun.name!r} did not return a value")
 
     # -- statements ------------------------------------------------------------
+    # Control flow (Assign/Return/If/For/While/DoWhile/ExprStmt/Block)
+    # comes from the shared StatementExecutor; the hooks below fill in
+    # the interpreter-specific pieces.
 
-    def exec_block(self, block: Block, env: Env) -> None:
-        for stmt in block.statements:
-            self.exec_stmt(stmt, env)
+    def bind(self, env: Env, name: str, value) -> None:
+        env.bind(name, value)
 
-    def exec_stmt(self, stmt, env: Env) -> None:
-        if isinstance(stmt, Assign):
-            env.bind(stmt.target, self.eval_expr(stmt.value, env))
-            return
-        if isinstance(stmt, Return):
-            raise _ReturnSignal(self.eval_expr(stmt.value, env))
-        if isinstance(stmt, If):
-            cond = self._concrete_bool(stmt.cond, env)
-            if cond:
-                self.exec_block(stmt.then, env)
-            elif stmt.orelse is not None:
-                self.exec_block(stmt.orelse, env)
-            return
-        if isinstance(stmt, For):
-            self.exec_stmt(stmt.init, env)
-            while self._concrete_bool(stmt.cond, env):
-                self.exec_block(stmt.body, env)
-                self.exec_stmt(stmt.update, env)
-            return
-        if isinstance(stmt, While):
-            while self._concrete_bool(stmt.cond, env):
-                self.exec_block(stmt.body, env)
-            return
-        if isinstance(stmt, DoWhile):
-            while True:
-                self.exec_block(stmt.body, env)
-                if not self._concrete_bool(stmt.cond, env):
-                    break
-            return
-        if isinstance(stmt, ExprStmt):
-            self.eval_expr(stmt.expr, env)
-            return
-        if isinstance(stmt, Block):
-            self.exec_block(stmt, env)
-            return
-        raise SacRuntimeError(f"unknown statement {type(stmt).__name__}")
-
-    def _concrete_bool(self, expr: Expr, env: Env) -> bool:
+    def exec_cond(self, expr: Expr, env: Env, what: str) -> bool:
         v = self.eval_expr(expr, env)
         if isinstance(v, (SpaceValue, IndexView)):
             raise AbstractUnsupported("data-dependent control flow")
@@ -366,29 +332,25 @@ class Interpreter:
         )
 
     # -- expressions -------------------------------------------------------------
+    # Dispatch to ``eval_<ClassName>`` comes from the shared
+    # ExprDispatcher base (per-class memoized table).
 
-    def eval_expr(self, expr: Expr, env: Env):
-        method = self._DISPATCH.get(type(expr))
-        if method is None:
-            raise SacRuntimeError(f"unknown expression {type(expr).__name__}")
-        return method(self, expr, env)
-
-    def _eval_int(self, expr: IntLit, env: Env):
+    def eval_IntLit(self, expr, env: Env):
         return expr.value
 
-    def _eval_double(self, expr: DoubleLit, env: Env):
+    def eval_DoubleLit(self, expr, env: Env):
         return expr.value
 
-    def _eval_bool(self, expr: BoolLit, env: Env):
+    def eval_BoolLit(self, expr, env: Env):
         return expr.value
 
-    def _eval_var(self, expr: Var, env: Env):
+    def eval_Var(self, expr, env: Env):
         return env.lookup(expr.name)
 
-    def _eval_dot(self, expr: Dot, env: Env):
+    def eval_Dot(self, expr: Dot, env: Env):
         raise SacRuntimeError("'.' is only legal inside a generator")
 
-    def _eval_vector(self, expr: VectorLit, env: Env):
+    def eval_VectorLit(self, expr, env: Env):
         if not expr.elements:
             return np.empty(0, dtype=np.int64)
         values = [coerce_value(self.eval_expr(e, env)) for e in expr.elements]
@@ -431,7 +393,7 @@ class Interpreter:
                 parts.append(np.broadcast_to(np.asarray(v), dims))
         return SpaceValue(np.stack(parts, axis=-1), space_ndim)
 
-    def _eval_binop(self, expr: BinOp, env: Env):
+    def eval_BinOp(self, expr: BinOp, env: Env):
         # Short-circuit on concrete booleans only.
         if expr.op in ("&&", "||"):
             left = self.eval_expr(expr.left, env)
@@ -451,10 +413,10 @@ class Interpreter:
     def _expect_boolish(self, expr: Expr, env: Env):
         return self.eval_expr(expr, env)
 
-    def _eval_unop(self, expr: UnOp, env: Env):
+    def eval_UnOp(self, expr, env: Env):
         return apply_unop(expr.op, self.eval_expr(expr.operand, env))
 
-    def _eval_call(self, expr: Call, env: Env):
+    def eval_Call(self, expr: Call, env: Env):
         args = [self.eval_expr(a, env) for a in expr.args]
         try:
             return self.apply_named(expr.name, args)
@@ -462,27 +424,13 @@ class Interpreter:
             exc.pos = exc.pos or expr.pos
             raise
 
-    def _eval_select(self, expr: Select, env: Env):
+    def eval_Select(self, expr, env: Env):
         array = self.eval_expr(expr.array, env)
         index = self.eval_expr(expr.index, env)
         return self.select(array, index)
 
-    def _eval_withloop(self, expr: WithLoop, env: Env):
+    def eval_WithLoop(self, expr, env: Env):
         return eval_withloop(self, env, expr)
-
-    _DISPATCH = {
-        IntLit: _eval_int,
-        DoubleLit: _eval_double,
-        BoolLit: _eval_bool,
-        Var: _eval_var,
-        Dot: _eval_dot,
-        VectorLit: _eval_vector,
-        BinOp: _eval_binop,
-        UnOp: _eval_unop,
-        Call: _eval_call,
-        Select: _eval_select,
-        WithLoop: _eval_withloop,
-    }
 
     # -- selection ---------------------------------------------------------------
 

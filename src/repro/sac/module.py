@@ -5,21 +5,21 @@
     prog = SacProgram.from_source(source)
     result = prog.call("MGrid", v, 4)
 
-Programs are parsed, linked against the prelude
-(:mod:`repro.sac.stdlib`), optionally run through the optimization
-pipeline (:mod:`repro.sac.optim`), and executed by the interpreter with
-vectorized WITH-loops.
+:class:`SacProgram` is a thin facade over
+:class:`~repro.sac.driver.session.CompilationSession`, which owns the
+staged pipeline (parse → link → typecheck → analyze → optimize →
+backend), the instrumented pass manager, and the content-addressed
+kernel cache.  Loading the same source with the same options twice
+serves the second load from the cache with zero parse/optimize work —
+see ``docs/COMPILER.md``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 
 from .ast_nodes import Program
-from .interp import FunctionTable, Interpreter, InterpOptions
-from .parser import parse_program
-from .stdlib import load_prelude
 
 __all__ = ["SacProgram", "CompileOptions"]
 
@@ -48,58 +48,58 @@ class CompileOptions:
 
 
 class SacProgram:
-    """A loaded (and possibly optimized) SAC module, ready to call."""
+    """A loaded (and possibly optimized) SAC module, ready to call.
+
+    Thin facade: compilation happens in a
+    :class:`~repro.sac.driver.session.CompilationSession`; this class
+    only re-exposes the artifacts consumers historically reached for
+    (``program``, ``interp``, ``analysis_report``).
+    """
 
     def __init__(self, program: Program,
-                 options: CompileOptions | None = None):
-        self.options = options or CompileOptions()
-        pieces = []
-        if self.options.include_prelude:
-            pieces.extend(load_prelude().functions)
-        pieces.extend(program.functions)
-        combined = Program(tuple(pieces))
-        if self.options.typecheck:
-            from .typecheck import check_program
+                 options: CompileOptions | None = None, *,
+                 _session=None):
+        from .driver.session import CompilationSession
 
-            check_program(combined)
-        self.analysis_report = None
-        if self.options.analyze:
-            from .analysis import analyze_program
-            from .errors import SacAnalysisError
+        if _session is not None:
+            self.session = _session
+        else:
+            self.session = CompilationSession(
+                parsed=program, options=options or CompileOptions()
+            )
+        self.options = self.session.options
 
-            report = analyze_program(combined)
-            self.analysis_report = report
-            if report.errors:
-                listing = "\n".join(f"  {d}" for d in report.errors)
-                raise SacAnalysisError(
-                    f"static analysis found {len(report.errors)} "
-                    f"error(s):\n{listing}",
-                    diagnostics=report.errors,
-                    pos=report.errors[0].pos,
-                )
-        if self.options.optimize:
-            from .optim.pipeline import PassOptions, optimize_program
+    # -- session-owned artifacts --------------------------------------------
 
-            overrides = dict(self.options.pass_overrides)
-            combined = optimize_program(combined, PassOptions(**overrides))
-        self.program = combined
-        table = FunctionTable()
-        table.update(combined)
-        self.interp = Interpreter(
-            table,
-            InterpOptions(
-                vectorize=self.options.vectorize,
-                jit=self.options.jit,
-                jit_threshold=self.options.jit_threshold,
-            ),
-        )
+    @property
+    def program(self) -> Program:
+        """The post-pipeline (optimized) program."""
+        return self.session.program
+
+    @property
+    def analysis_report(self):
+        return self.session.analysis_report
+
+    @property
+    def interp(self):
+        return self.session.interpreter
+
+    @property
+    def pass_report(self):
+        """Per-pass timings and rewrite counts for this build (empty
+        when the build was served from the program cache)."""
+        return self.session.pass_report
 
     # -- constructors -------------------------------------------------------
 
     @classmethod
     def from_source(cls, source: str, filename: str = "<sac>",
                     options: CompileOptions | None = None) -> "SacProgram":
-        return cls(parse_program(source, filename), options)
+        from .driver.session import CompilationSession
+
+        session = CompilationSession(source, filename,
+                                     options or CompileOptions())
+        return cls(None, _session=session)
 
     @classmethod
     def from_file(cls, path: str | Path,

@@ -20,16 +20,15 @@ import dataclasses
 
 from ..ast_nodes import (
     Assign,
-    DoWhile,
     BinOp,
     Block,
     BoolLit,
     Call,
     DoubleLit,
+    DoWhile,
     Expr,
     ExprStmt,
     For,
-    FunDef,
     If,
     IntLit,
     Program,
@@ -42,6 +41,7 @@ from ..ast_nodes import (
     While,
     WithLoop,
 )
+from ..ast_visit import iter_child_exprs, map_child_exprs, walk_exprs
 from .rewrite import ast_key, fresh_namer
 
 __all__ = ["cse_pass"]
@@ -62,14 +62,8 @@ def _subexprs(expr: Expr, out: list[Expr]) -> None:
     skipping WITH-loop internals entirely."""
     if isinstance(expr, WithLoop):
         return
-    for f in dataclasses.fields(expr):
-        v = getattr(expr, f.name)
-        if isinstance(v, Expr):
-            _subexprs(v, out)
-        elif isinstance(v, tuple):
-            for e in v:
-                if isinstance(e, Expr):
-                    _subexprs(e, out)
+    for child in iter_child_exprs(expr):
+        _subexprs(child, out)
     if _is_candidate(expr):
         out.append(expr)
 
@@ -82,23 +76,10 @@ def _replace(expr: Expr, table: dict[object, str]) -> Expr:
     key = ast_key(expr)
     if key in table:
         return Var(table[key])
-    changes = {}
-    for f in dataclasses.fields(expr):
-        v = getattr(expr, f.name)
-        if isinstance(v, Expr):
-            nv = _replace(v, table)
-            if nv is not v:
-                changes[f.name] = nv
-        elif isinstance(v, tuple) and v and all(isinstance(e, Expr) for e in v):
-            nv = tuple(_replace(e, table) for e in v)
-            if any(a is not b for a, b in zip(nv, v)):
-                changes[f.name] = nv
-    return dataclasses.replace(expr, **changes) if changes else expr
+    return map_child_exprs(expr, lambda e: _replace(e, table))
 
 
 def _free_vars(expr: Expr) -> set[str]:
-    from .rewrite import walk_exprs
-
     return {e.name for e in walk_exprs(expr) if isinstance(e, Var)}
 
 

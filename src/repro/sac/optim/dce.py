@@ -14,8 +14,8 @@ import dataclasses
 
 from ..ast_nodes import (
     Assign,
-    DoWhile,
     Block,
+    DoWhile,
     ExprStmt,
     For,
     FunDef,
@@ -26,7 +26,7 @@ from ..ast_nodes import (
     Var,
     While,
 )
-from .rewrite import walk_exprs
+from ..ast_visit import walk_exprs
 
 __all__ = ["dce_pass"]
 

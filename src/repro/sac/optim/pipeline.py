@@ -27,21 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ast_nodes import Program
-from .coeffgroup import coeffgroup_pass
-from .constfold import constfold_pass
-from .cse import cse_pass
-from .dce import dce_pass
-from .inline import inline_pass
-from .unroll import unroll_pass
-from .wlfold import wlfold_pass
 
-__all__ = ["PassOptions", "optimize_program", "PASS_NAMES"]
+__all__ = ["PassOptions", "optimize_program", "optimize_with_report",
+           "PASS_NAMES"]
 
 PASS_NAMES = ("inline", "constfold", "wlfold", "unroll", "coeffgroup",
               "cse", "dce")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class PassOptions:
     """Which passes run (all on by default)."""
 
@@ -54,10 +48,31 @@ class PassOptions:
     dce: bool = True
     #: Run the static analyzer first; raise on error-severity findings.
     analyze: bool = False
+    #: Schedule the interacting pass pairs (constfold/wlfold, cse/dce)
+    #: as fixpoint groups instead of single applications.
+    fixpoint: bool = False
 
     @staticmethod
     def none() -> "PassOptions":
-        return PassOptions(False, False, False, False, False, False, False)
+        return PassOptions(inline=False, constfold=False, wlfold=False,
+                           unroll=False, coeffgroup=False, cse=False,
+                           dce=False)
+
+    @classmethod
+    def from_overrides(cls, overrides) -> "PassOptions":
+        """Build options from a ``{pass_name: bool}`` mapping, rejecting
+        unknown pass names with a coded error (``SAC010``)."""
+        mapping = dict(overrides)
+        bad = sorted(k for k in mapping if k not in PASS_NAMES)
+        if bad:
+            from ..errors import SacOptionError
+
+            valid = ", ".join(PASS_NAMES)
+            raise SacOptionError(
+                f"unknown pass name(s) {', '.join(repr(k) for k in bad)} "
+                f"in pass_overrides; valid passes: {valid}"
+            )
+        return cls(**mapping)
 
     def enabled(self) -> list[str]:
         return [n for n in PASS_NAMES if getattr(self, n)]
@@ -66,26 +81,28 @@ class PassOptions:
 def optimize_program(program: Program,
                      options: PassOptions | None = None) -> Program:
     """Run the enabled passes in pipeline order."""
+    program, _report = optimize_with_report(program, options)
+    return program
+
+
+def optimize_with_report(program: Program,
+                         options: PassOptions | None = None,
+                         manager=None):
+    """Run the enabled passes; also return the instrumented
+    :class:`~repro.sac.driver.passes.PassReport`.
+
+    ``manager`` (a :class:`~repro.sac.driver.passes.PassManager`) may be
+    supplied to accumulate metrics across several pipeline runs — a new
+    one is created otherwise.
+    """
+    from ..driver.passes import PassManager, schedule_for
+
     opts = options or PassOptions()
     if opts.analyze:
         _analysis_gate(program)
-    if opts.inline:
-        program = inline_pass(program)
-    if opts.constfold:
-        program = constfold_pass(program)
-    if opts.wlfold:
-        program = wlfold_pass(program)
-    if opts.unroll:
-        program = unroll_pass(program)
-        if opts.constfold:
-            program = constfold_pass(program)
-    if opts.coeffgroup:
-        program = coeffgroup_pass(program)
-    if opts.cse:
-        program = cse_pass(program)
-    if opts.dce:
-        program = dce_pass(program)
-    return program
+    pm = manager if manager is not None else PassManager()
+    program = pm.run(program, schedule_for(opts))
+    return program, pm.report
 
 
 def _analysis_gate(program: Program) -> None:

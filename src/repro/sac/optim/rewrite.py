@@ -1,37 +1,37 @@
-"""AST rewriting utilities shared by the optimization passes."""
+"""AST rewriting utilities shared by the optimization passes.
+
+The generic traversal primitives (child iteration, identity-preserving
+child mapping, full-tree walking) live in :mod:`repro.sac.ast_visit`;
+this module layers the optimizer-specific pieces on top: bottom-up
+rewriting, capture-aware substitution, structural keys and
+alpha-renaming.
+"""
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Iterator
+from typing import Callable
 
 from ..ast_nodes import (
     Assign,
-    DoWhile,
-    BinOp,
     Block,
-    Call,
-    Dot,
+    DoWhile,
     Expr,
     ExprStmt,
     FoldOp,
     For,
-    FunDef,
     GenarrayOp,
     Generator,
     If,
-    IntLit,
     ModarrayOp,
     Node,
     Return,
-    Select,
     Stmt,
-    UnOp,
     Var,
-    VectorLit,
     While,
     WithLoop,
 )
+from ..ast_visit import map_child_exprs, walk_exprs
 
 __all__ = [
     "map_expr",
@@ -48,30 +48,10 @@ __all__ = [
 ]
 
 
-def _map_children(node: Node, fn: Callable[[Expr], Expr]) -> Node:
-    """Rebuild a node with ``fn`` applied to every direct Expr child."""
-    changes = {}
-    for f in dataclasses.fields(node):
-        v = getattr(node, f.name)
-        if isinstance(v, Expr):
-            nv = fn(v)
-            if nv is not v:
-                changes[f.name] = nv
-        elif isinstance(v, tuple) and v and all(isinstance(e, Expr) for e in v):
-            nv = tuple(fn(e) for e in v)
-            if any(a is not b for a, b in zip(nv, v)):
-                changes[f.name] = nv
-        elif isinstance(v, (GenarrayOp, ModarrayOp, FoldOp, Generator)):
-            nv = _map_children(v, fn)
-            if nv is not v:
-                changes[f.name] = nv
-    return dataclasses.replace(node, **changes) if changes else node
-
-
 def map_expr(expr: Expr, fn: Callable[[Expr], Expr]) -> Expr:
     """Bottom-up expression rewrite: children first, then ``fn`` on the
     rebuilt node."""
-    rebuilt = _map_children(expr, lambda e: map_expr(e, fn))
+    rebuilt = map_child_exprs(expr, lambda e: map_expr(e, fn))
     return fn(rebuilt)
 
 
@@ -112,30 +92,6 @@ def map_stmt_exprs(stmt: Stmt, fn: Callable[[Expr], Expr]) -> Stmt:
             stmt, body=map_stmt_exprs(stmt.body, fn), cond=map_expr(stmt.cond, fn)
         )
     raise TypeError(f"unknown statement {type(stmt).__name__}")
-
-
-def walk_exprs(node: Node) -> Iterator[Expr]:
-    """Yield every expression node in a statement/expression tree,
-    parents after children."""
-    if isinstance(node, Expr):
-        for f in dataclasses.fields(node):
-            v = getattr(node, f.name)
-            if isinstance(v, Node):
-                yield from walk_exprs(v)
-            elif isinstance(v, tuple):
-                for e in v:
-                    if isinstance(e, Node):
-                        yield from walk_exprs(e)
-        yield node
-        return
-    for f in dataclasses.fields(node):
-        v = getattr(node, f.name)
-        if isinstance(v, Node):
-            yield from walk_exprs(v)
-        elif isinstance(v, tuple):
-            for e in v:
-                if isinstance(e, Node):
-                    yield from walk_exprs(e)
 
 
 def expr_vars(expr: Expr) -> set[str]:

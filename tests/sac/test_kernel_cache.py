@@ -1,0 +1,191 @@
+"""Correctness of the content-addressed kernel cache (driver.cache)."""
+
+import pickle
+
+import numpy as np
+
+from repro.sac import CompileOptions
+from repro.sac.codegen import trace_event_count
+from repro.sac.driver import CompilationSession, KernelCache
+from repro.sac.driver.cache import (
+    CACHE_VERSION,
+    kernel_key,
+    program_key,
+    shape_signature,
+    source_digest,
+)
+
+SRC = """
+double[+] scale(double[+] u, double f)
+{
+  s = with (0*shape(u) <= iv < shape(u))
+      modarray(u, f * u[iv]);
+  return s;
+}
+"""
+
+
+def _session(tmp_path, source=SRC, options=None):
+    return CompilationSession(source, options=options or CompileOptions(),
+                              cache=KernelCache(tmp_path / "cache"))
+
+
+class TestKeys:
+    def test_shape_signature_symbolic_floats(self):
+        sig = shape_signature([np.zeros((3, 4)), np.zeros(2, dtype=np.int64),
+                               7, 2.5])
+        assert sig[0] == "f64[3, 4]"
+        assert sig[1].startswith("baked-arr:int64[2]:")
+        assert sig[2] == "baked:int:7"
+        assert sig[3] == "baked:float:2.5"
+
+    def test_float_value_does_not_change_signature(self):
+        a = shape_signature([np.zeros((3, 3))])
+        b = shape_signature([np.ones((3, 3))])
+        assert a == b
+
+    def test_shape_change_changes_signature(self):
+        a = shape_signature([np.zeros((3, 3))])
+        b = shape_signature([np.zeros((3, 4))])
+        assert a != b
+
+    def test_kernel_key_sensitive_to_every_part(self):
+        base = kernel_key("prog", "f(double[+])", ("f64[3]",))
+        assert kernel_key("prog2", "f(double[+])", ("f64[3]",)) != base
+        assert kernel_key("prog", "g(double[+])", ("f64[3]",)) != base
+        assert kernel_key("prog", "f(double[+])", ("f64[4]",)) != base
+
+    def test_program_key_covers_options(self):
+        a = program_key(source_digest(SRC), "p", CompileOptions())
+        b = program_key(source_digest(SRC), "p",
+                        CompileOptions(optimize=False))
+        assert a != b
+
+
+class TestWarmKernels:
+    def test_warm_hit_bit_identical_to_cold(self, tmp_path):
+        u = np.arange(27.0).reshape(3, 3, 3)
+        cold = _session(tmp_path)
+        k_cold = cold.compile_kernel("scale", [u, 2.0])
+        before = trace_event_count()
+        # A brand-new session and cache instance over the same directory:
+        # the kernel must come off disk, with zero tracing.
+        warm = _session(tmp_path)
+        k_warm = warm.compile_kernel("scale", [u, 2.0])
+        assert trace_event_count() == before
+        assert k_warm.source == k_cold.source
+        assert k_warm.baked == k_cold.baked
+        np.testing.assert_array_equal(k_warm(u, 2.0), k_cold(u, 2.0))
+
+    def test_shape_change_invalidates(self, tmp_path):
+        s = _session(tmp_path)
+        s.compile_kernel("scale", [np.zeros((3, 3, 3)), 2.0])
+        before = trace_event_count()
+        s.compile_kernel("scale", [np.zeros((4, 4, 4)), 2.0])
+        assert trace_event_count() == before + 1  # re-traced
+
+    def test_baked_value_change_invalidates(self, tmp_path):
+        s = _session(tmp_path)
+        k2 = s.compile_kernel("scale", [np.zeros((3, 3, 3)), 2.0])
+        k3 = s.compile_kernel("scale", [np.zeros((3, 3, 3)), 3.0])
+        assert k2.baked != k3.baked
+
+    def test_source_edit_invalidates(self, tmp_path):
+        u = np.zeros((3, 3, 3))
+        _session(tmp_path).compile_kernel("scale", [u, 2.0])
+        edited = SRC.replace("f * u[iv]", "f + u[iv]")
+        before = trace_event_count()
+        k = _session(tmp_path, source=edited).compile_kernel("scale",
+                                                             [u, 2.0])
+        assert trace_event_count() == before + 1
+        np.testing.assert_array_equal(k(np.zeros((3, 3, 3)), 2.0),
+                                      np.full((3, 3, 3), 2.0))
+
+    def test_options_flip_invalidates(self, tmp_path):
+        u = np.zeros((3, 3, 3))
+        _session(tmp_path).compile_kernel("scale", [u, 2.0])
+        before = trace_event_count()
+        _session(tmp_path,
+                 options=CompileOptions(optimize=False)
+                 ).compile_kernel("scale", [u, 2.0])
+        assert trace_event_count() == before + 1
+
+
+class TestDiskRobustness:
+    def _kernel_files(self, tmp_path):
+        root = tmp_path / "cache" / f"v{CACHE_VERSION}" / "kernels"
+        return [p for p in root.rglob("*") if p.is_file()]
+
+    def test_corrupt_entry_discarded_not_crashed(self, tmp_path):
+        u = np.zeros((3, 3, 3))
+        _session(tmp_path).compile_kernel("scale", [u, 2.0])
+        files = self._kernel_files(tmp_path)
+        assert files
+        for f in files:
+            f.write_bytes(b"\x80\x04 this is not a pickle")
+        warm = _session(tmp_path)
+        k = warm.compile_kernel("scale", [u, 2.0])  # must not raise
+        assert k is not None
+        assert warm.cache.stats.corrupt_discarded >= 1
+        # The corrupt files were unlinked and replaced by the re-compile.
+        for f in self._kernel_files(tmp_path):
+            assert pickle.loads(f.read_bytes())["version"] == CACHE_VERSION
+
+    def test_stale_version_discarded(self, tmp_path):
+        u = np.zeros((3, 3, 3))
+        _session(tmp_path).compile_kernel("scale", [u, 2.0])
+        for f in self._kernel_files(tmp_path):
+            payload = pickle.loads(f.read_bytes())
+            payload["version"] = CACHE_VERSION + 1
+            f.write_bytes(pickle.dumps(payload))
+        warm = _session(tmp_path)
+        k = warm.compile_kernel("scale", [u, 2.0])
+        assert k is not None
+        assert warm.cache.stats.stale_discarded >= 1
+
+    def test_truncated_program_entry_discarded(self, tmp_path):
+        _session(tmp_path)  # populates the program cache
+        root = tmp_path / "cache" / f"v{CACHE_VERSION}" / "programs"
+        files = [p for p in root.rglob("*") if p.is_file()]
+        assert files
+        for f in files:
+            f.write_bytes(f.read_bytes()[:10])
+        warm = _session(tmp_path)  # must rebuild, not raise
+        assert not warm.from_cache()
+        assert warm.cache.stats.corrupt_discarded >= 1
+
+    def test_memory_only_cache_touches_no_disk(self, tmp_path):
+        cache = KernelCache(memory_only=True)
+        CompilationSession(SRC, cache=cache)
+        assert cache.root is None
+        assert not list(tmp_path.iterdir())
+
+    def test_env_toggle_disables_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SAC_CACHE", "off")
+        monkeypatch.setenv("REPRO_SAC_CACHE_DIR", str(tmp_path / "never"))
+        cache = KernelCache()
+        assert cache.root is None
+
+    def test_env_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SAC_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_SAC_CACHE_DIR", str(tmp_path / "mine"))
+        cache = KernelCache()
+        assert cache.root == tmp_path / "mine"
+
+
+class TestJitSharedCache:
+    def test_jit_kernels_land_in_shared_cache(self, tmp_path):
+        opts = CompileOptions(jit=True, jit_threshold=1)
+        u = np.arange(27.0).reshape(3, 3, 3)
+        cold = _session(tmp_path, options=opts)
+        for _ in range(3):
+            cold.interpreter.call("scale", u, 2.0)
+        assert cold.interpreter.jit_compiled_count == 1
+        before = trace_event_count()
+        warm = _session(tmp_path, options=opts)
+        for _ in range(3):
+            warm.interpreter.call("scale", u, 2.0)
+        # The specialization was served from disk: counted compiled
+        # locally, but never re-traced.
+        assert warm.interpreter.jit_compiled_count == 1
+        assert trace_event_count() == before

@@ -248,12 +248,17 @@ class MGResult:
 
 
 def solve(size_class: str | SizeClass, nit: int | None = None, *,
-          collect_trace: bool = False, keep_history: bool = False) -> MGResult:
+          collect_trace: bool = False, keep_history: bool = False,
+          on_iteration=None) -> MGResult:
     """Run the full NAS MG benchmark for a size class.
 
     Follows the timed section of NPB ``mg.f``: ``u = 0``, ``v = zran3``,
     ``r = v - A u``; then ``nit`` times (V-cycle; top-level residual);
     finally the verification norm.
+
+    ``on_iteration(iteration, rnm2)``, if given, is called after each
+    V-cycle with the current residual norm (the supervisor's numerical
+    watchdog hooks in here); an exception it raises aborts the solve.
     """
     sc = get_class(size_class) if isinstance(size_class, str) else size_class
     iters = sc.nit if nit is None else nit
@@ -269,11 +274,15 @@ def solve(size_class: str | SizeClass, nit: int | None = None, *,
     history: list[float] = []
     if keep_history:
         history.append(norm2u3(r_levels[lt])[0])
-    for _ in range(iters):
+    for it in range(iters):
         mg3P(u, v, r_levels, a, c, lt, lb, trace)
         r_levels[lt] = resid(u, v, a, trace, level=lt)
-        if keep_history:
-            history.append(norm2u3(r_levels[lt])[0])
+        if keep_history or on_iteration is not None:
+            rnm2_it = norm2u3(r_levels[lt])[0]
+            if keep_history:
+                history.append(rnm2_it)
+            if on_iteration is not None:
+                on_iteration(it, rnm2_it)
     rnm2, rnmu = norm2u3(r_levels[lt])
     if trace is not None:
         trace.record("norm2u3", lt, sc.nx ** 3)

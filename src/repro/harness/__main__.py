@@ -7,6 +7,7 @@
     python -m repro.harness ablation       # SAC optimizer ablation
     python -m repro.harness memmgmt        # §5 memory-overhead analysis
     python -m repro.harness verify -c S    # NPB verification run
+    python -m repro.harness supervised     # self-healing supervised solve
     python -m repro.harness all
 """
 
@@ -54,7 +55,7 @@ def main(argv: list[str] | None = None) -> int:
         "Benchmark MG in SAC' (IPPS 2002).",
     )
     known = sorted(_SIMPLE) + ["measure", "ablation", "verify",
-                               "npb", "timers", "all"]
+                               "npb", "timers", "supervised", "all"]
     parser.add_argument(
         "commands",
         nargs="*",
@@ -91,7 +92,8 @@ def main(argv: list[str] | None = None) -> int:
     commands = list(args.commands)
     if "all" in commands:
         commands = ["fig11", "fig12", "fig13", "ops", "memmgmt", "related",
-                    "future", "verify", "npb", "timers", "measure"]
+                    "future", "verify", "supervised", "npb", "timers",
+                    "measure"]
 
     status = 0
     first = True
@@ -132,6 +134,17 @@ def main(argv: list[str] | None = None) -> int:
             print(format_npb_report(rep))
         elif cmd == "verify":
             status |= _run_verify(args.size_class)
+        elif cmd == "supervised":
+            from repro.runtime import SupervisedSolver, SupervisionFailed
+
+            try:
+                res = SupervisedSolver().solve(args.size_class)
+                rep = res.report
+            except SupervisionFailed as exc:
+                rep = exc.report
+                status |= 1
+            collected[cmd] = rep.to_dict()
+            print(rep.summary())
     if args.pass_report:
         if not first:
             print()

@@ -31,6 +31,16 @@ from .resilience import (
 from .scheduler import Chunk, block_partition, chunked_partition, cyclic_partition
 from .shm import ProcessTeam, SharedGrid, process_psinv, process_resid
 from .spmd import DistributedMG, RankComm, World
+from .supervisor import (
+    CompileCircuitBreaker,
+    Rung,
+    SolveReport,
+    SupervisedResult,
+    SupervisedSolver,
+    SupervisionFailed,
+    SupervisorPolicy,
+    default_ladder,
+)
 
 __all__ = [
     "ThreadTeam",
@@ -64,4 +74,12 @@ __all__ = [
     "ResilienceError",
     "TeamError",
     "WorldAborted",
+    "CompileCircuitBreaker",
+    "Rung",
+    "SolveReport",
+    "SupervisedResult",
+    "SupervisedSolver",
+    "SupervisionFailed",
+    "SupervisorPolicy",
+    "default_ladder",
 ]

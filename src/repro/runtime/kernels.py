@@ -50,6 +50,10 @@ class SacKernelLibrary:
         self._session = session
         self._lock = threading.Lock()
         self._kernels: dict[tuple[int, ...], object] = {}
+        #: Compilation attempts that raised (feeds the supervisor's
+        #: compile circuit breaker alongside the cache's per-key
+        #: discard counters).
+        self.compile_failures = 0
 
     # -- plumbing -----------------------------------------------------------
 
@@ -67,14 +71,18 @@ class SacKernelLibrary:
         with self._lock:
             kernel = self._kernels.get(shape)
             if kernel is None:
-                session = self._get_session()
-                # Example values only pin shapes: float64 arrays stay
-                # symbolic, so the coefficient vector is a runtime
-                # argument of the compiled kernel.
-                kernel = session.compile_kernel(
-                    "RelaxKernel",
-                    [np.zeros(shape), np.zeros(4)],
-                )
+                try:
+                    session = self._get_session()
+                    # Example values only pin shapes: float64 arrays stay
+                    # symbolic, so the coefficient vector is a runtime
+                    # argument of the compiled kernel.
+                    kernel = session.compile_kernel(
+                        "RelaxKernel",
+                        [np.zeros(shape), np.zeros(4)],
+                    )
+                except Exception:
+                    self.compile_failures += 1
+                    raise
                 self._kernels[shape] = kernel
         return kernel
 

@@ -206,20 +206,24 @@ class ParallelMG:
     thread; results then match serial to floating-point tolerance.
     """
 
-    def __init__(self, nthreads: int, *, kernels: str = "numpy"):
+    def __init__(self, nthreads: int, *, kernels: str = "numpy",
+                 kernel_library=None):
         if kernels not in ("numpy", "sac"):
             raise ValueError(f"kernels must be 'numpy' or 'sac', "
                              f"got {kernels!r}")
+        if kernel_library is not None and kernels != "sac":
+            raise ValueError("kernel_library requires kernels='sac'")
         self.nthreads = nthreads
         self.kernels = kernels
-        self.kernel_library = None
-        if kernels == "sac":
+        self.kernel_library = kernel_library
+        if kernels == "sac" and kernel_library is None:
             from .kernels import SacKernelLibrary
 
             self.kernel_library = SacKernelLibrary()
 
     def solve(self, size_class: str | SizeClass,
-              nit: int | None = None) -> MGResult:
+              nit: int | None = None, *,
+              on_iteration=None) -> MGResult:
         sc = get_class(size_class) if isinstance(size_class, str) else size_class
         iters = sc.nit if nit is None else nit
         a = A_COEFFS
@@ -230,7 +234,7 @@ class ParallelMG:
             u = make_grid(sc.nx)
             v = zran3(sc.nx)
             r = {lt: parallel_resid(u, v, a, team, lib)}
-            for _ in range(iters):
+            for it in range(iters):
                 for k in range(lt, lb, -1):
                     r[k - 1] = parallel_rprj3(r[k], team)
                 uk = make_grid(1 << lb)
@@ -246,5 +250,9 @@ class ParallelMG:
                 r[lt] = parallel_resid(u, v, a, team, lib)
                 parallel_psinv(r[lt], u, c, team, lib)
                 r[lt] = parallel_resid(u, v, a, team, lib)
+                if on_iteration is not None:
+                    # Residual-trajectory hook (the supervisor's
+                    # numerical watchdog); raising aborts the solve here.
+                    on_iteration(it, norm2u3(r[lt])[0])
             rnm2, rnmu = norm2u3(r[lt])
         return MGResult(sc, rnm2, rnmu, u, r[lt])

@@ -18,6 +18,7 @@ CI chaos job does), or build plans explicitly for targeted tests::
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from enum import Enum
@@ -57,6 +58,14 @@ class Fault:
     ``iteration``/``op``/``level`` narrow which events the fault matches
     (``None`` matches any); ``count`` bounds how many matching events it
     fires on (message kinds only — a crash fires once by nature).
+
+    ``scope`` controls how the fire budget is shared across the worlds
+    built from one plan.  ``"world"`` (the default) gives every
+    :class:`~repro.runtime.spmd.World` a fresh budget — a crash at
+    iteration 2 recurs in every attempt, modelling a *persistent* fault.
+    ``"plan"`` shares one budget across all worlds: once the fault has
+    fired its ``count`` times anywhere, later attempts run clean — a
+    *transient* fault, exactly what retry-from-checkpoint is for.
     """
 
     kind: FaultKind
@@ -70,19 +79,52 @@ class Fault:
     magnitude: float = 1.0e3
     #: How many matching events to hit (message kinds).
     count: int = 1
+    #: ``"world"`` (persistent: fresh budget per World) or ``"plan"``
+    #: (transient: one budget shared by every World from this plan).
+    scope: str = "world"
 
     def __post_init__(self) -> None:
         if self.rank < 0:
             raise ValueError("fault rank must be >= 0")
         if self.count < 1:
             raise ValueError("fault count must be >= 1")
+        if self.scope not in ("world", "plan"):
+            raise ValueError(f"fault scope must be 'world' or 'plan', "
+                             f"got {self.scope!r}")
         if self.kind in _ITERATION_KINDS and self.op is not None:
             raise ValueError(f"{self.kind.value} faults fire at iteration "
                              "boundaries and take no op filter")
 
 
+class _Budget:
+    """Lock-protected decrementing fire budgets, keyed by fault index."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: dict[int, int] = {}
+
+    def register(self, key: int, count: int) -> None:
+        with self._lock:
+            self._counts.setdefault(key, count)
+
+    def take(self, key: int) -> bool:
+        """Consume one firing if any budget remains."""
+        with self._lock:
+            remaining = self._counts.get(key, 0)
+            if remaining <= 0:
+                return False
+            self._counts[key] = remaining - 1
+            return True
+
+
 class FaultPlan:
-    """An immutable, reproducible set of faults for one SPMD run."""
+    """An immutable, reproducible set of faults for one SPMD run.
+
+    Plans with ``scope="plan"`` (transient) faults carry one shared fire
+    budget across every :class:`~repro.runtime.spmd.World` built from
+    them, so such a plan is *consumed* by firing; build a fresh plan per
+    experiment when comparing runs.
+    """
 
     def __init__(self, faults: Sequence[Fault] = (), *, seed: int | None = None):
         self.faults = tuple(faults)
@@ -90,6 +132,10 @@ class FaultPlan:
         for f in self.faults:
             if not isinstance(f, Fault):
                 raise TypeError(f"expected Fault, got {type(f).__name__}")
+        self._plan_budget = _Budget()
+        for idx, f in enumerate(self.faults):
+            if f.scope == "plan":
+                self._plan_budget.register(idx, f.count)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"FaultPlan({list(self.faults)!r}, seed={self.seed!r})"
@@ -127,10 +173,12 @@ class FaultPlan:
 
     def injector(self, rank: int, stats=None) -> "RankInjector | None":
         """Build this rank's hook, or ``None`` if no fault targets it."""
-        mine = [f for f in self.faults if f.rank == rank]
+        mine = [(idx, f) for idx, f in enumerate(self.faults)
+                if f.rank == rank]
         if not mine:
             return None
-        return RankInjector(rank, mine, stats=stats)
+        return RankInjector(rank, mine, plan_budget=self._plan_budget,
+                            stats=stats)
 
 
 class RankInjector:
@@ -142,24 +190,40 @@ class RankInjector:
     rank is sequential, so no locking is needed).
     """
 
-    def __init__(self, rank: int, faults: Sequence[Fault], stats=None):
+    def __init__(self, rank: int, faults: Sequence[tuple[int, Fault]],
+                 *, plan_budget: _Budget | None = None, stats=None):
         self.rank = rank
         self.stats = stats
         self.iteration: int | None = None
-        self._budget: dict[int, int] = {
-            i: f.count for i, f in enumerate(faults)
-        }
         self._faults = tuple(faults)
+        # World-scoped budgets are fresh per injector (= per World);
+        # plan-scoped budgets live on the plan and are shared.
+        self._world_budget = _Budget()
+        self._plan_budget = plan_budget if plan_budget is not None else _Budget()
+        for idx, f in self._faults:
+            if f.scope == "world":
+                self._world_budget.register(idx, f.count)
+            else:
+                self._plan_budget.register(idx, f.count)
+
+    def _take(self, idx: int, fault: Fault) -> bool:
+        budget = (self._plan_budget if fault.scope == "plan"
+                  else self._world_budget)
+        return budget.take(idx)
 
     def _matching(self, kinds, op=None, level=None):
-        for i, f in enumerate(self._faults):
-            if f.kind not in kinds or self._budget[i] <= 0:
+        """Yield matching faults, consuming one firing from each
+        yielded fault's budget."""
+        for i, f in self._faults:
+            if f.kind not in kinds:
                 continue
             if f.iteration is not None and f.iteration != self.iteration:
                 continue
             if f.op is not None and f.op != op:
                 continue
             if f.level is not None and f.level != level:
+                continue
+            if not self._take(i, f):
                 continue
             yield i, f
 
@@ -173,7 +237,6 @@ class RankInjector:
         """Called by the rank program at each V-cycle boundary."""
         self.iteration = iteration
         for i, f in self._matching(_ITERATION_KINDS):
-            self._budget[i] -= 1
             if f.kind is FaultKind.SLOW:
                 self._bump("slows")
                 time.sleep(f.delay)
@@ -190,7 +253,6 @@ class RankInjector:
         ``"deliver"``, ``"drop"``, ``"delay"``, ``"corrupt"``.
         """
         for i, f in self._matching(_MESSAGE_KINDS, op=op, level=level):
-            self._budget[i] -= 1
             if f.kind is FaultKind.DROP:
                 self._bump("drops")
                 return "drop", None, 0.0

@@ -79,14 +79,16 @@ from .resilience import (
 )
 
 __all__ = ["DistributedMG", "RankComm", "World", "DEFAULT_TIMEOUT",
-           "DEFAULT_JOIN_TIMEOUT"]
+           "DEFAULT_JOIN_TIMEOUT", "DEFAULT_POLL_INTERVAL"]
 
 #: Default deadline for one blocking recv/barrier (seconds).
 DEFAULT_TIMEOUT = 60.0
 #: Default deadline for joining the whole world (seconds).
 DEFAULT_JOIN_TIMEOUT = 600.0
-#: Granularity at which blocked operations poll the cancellation token.
-_POLL_INTERVAL = 0.05
+#: Default granularity at which blocked operations poll the cancellation
+#: token (override per world with ``World(poll_interval=...)`` or
+#: globally with ``REPRO_SPMD_POLL_INTERVAL``).
+DEFAULT_POLL_INTERVAL = 0.05
 #: Pristine payloads kept per channel for checksum retransmission.
 _REPLAY_DEPTH = 8
 
@@ -176,7 +178,7 @@ class _Channel:
             w.check_abort(rank=rank, op=op, level=level)
             remaining = deadline - time.monotonic()
             try:
-                msg = self._q.get(timeout=min(_POLL_INTERVAL,
+                msg = self._q.get(timeout=min(w.poll_interval,
                                               max(remaining, 0.001)))
             except queue.Empty as exc:
                 if time.monotonic() >= deadline:
@@ -228,6 +230,11 @@ class World:
     join_timeout:
         Deadline for the coordinating thread to join all ranks.
         Defaults to ``REPRO_SPMD_JOIN_TIMEOUT``, else 600.
+    poll_interval:
+        Granularity at which blocked receives re-check the cancellation
+        token and their deadline.  A caller-imposed deadline budget is
+        therefore honored within one poll tick.  Defaults to
+        ``REPRO_SPMD_POLL_INTERVAL``, else 0.05 s.
     fault_plan:
         Optional deterministic :class:`FaultPlan` for chaos runs.
     halo_checksums:
@@ -238,6 +245,7 @@ class World:
 
     def __init__(self, size: int, *, timeout: float | None = None,
                  join_timeout: float | None = None,
+                 poll_interval: float | None = None,
                  fault_plan: FaultPlan | None = None,
                  halo_checksums: bool = False, halo_retries: int = 2):
         if size < 1:
@@ -250,8 +258,13 @@ class World:
         self.join_timeout = (
             _env_timeout("REPRO_SPMD_JOIN_TIMEOUT", DEFAULT_JOIN_TIMEOUT)
             if join_timeout is None else float(join_timeout))
+        self.poll_interval = (
+            _env_timeout("REPRO_SPMD_POLL_INTERVAL", DEFAULT_POLL_INTERVAL)
+            if poll_interval is None else float(poll_interval))
         if self.timeout <= 0 or self.join_timeout <= 0:
             raise ValueError("timeouts must be positive")
+        if self.poll_interval <= 0:
+            raise ValueError("poll_interval must be positive")
         self.halo_checksums = bool(halo_checksums)
         self.halo_retries = int(halo_retries)
         # ring links: up[r] carries messages r -> (r+1)%P,
@@ -433,17 +446,21 @@ class DistributedMG:
 
     def __init__(self, nranks: int, *, timeout: float | None = None,
                  join_timeout: float | None = None,
+                 poll_interval: float | None = None,
                  fault_plan: FaultPlan | None = None,
                  halo_checksums: bool = False, halo_retries: int = 2,
-                 kernels: str = "numpy"):
+                 kernels: str = "numpy", kernel_library=None):
         if nranks < 1 or nranks & (nranks - 1):
             raise ValueError("nranks must be a power of two")
         if kernels not in ("numpy", "sac"):
             raise ValueError(f"kernels must be 'numpy' or 'sac', "
                              f"got {kernels!r}")
+        if kernel_library is not None and kernels != "sac":
+            raise ValueError("kernel_library requires kernels='sac'")
         self.nranks = nranks
         self.timeout = timeout
         self.join_timeout = join_timeout
+        self.poll_interval = poll_interval
         self.fault_plan = fault_plan
         self.halo_checksums = halo_checksums
         self.halo_retries = halo_retries
@@ -452,9 +469,11 @@ class DistributedMG:
         # SAC RelaxKernel.  The library is shared by every rank thread
         # and backed by the driver's content-addressed cache, so each
         # slab shape is compiled exactly once per machine — ranks REUSE
-        # kernels rather than each recompiling their own.
-        self.kernel_library = None
-        if kernels == "sac":
+        # kernels rather than each recompiling their own.  Callers (the
+        # supervisor, notably) may pass a pre-built library so repeated
+        # solves share one set of specializations.
+        self.kernel_library = kernel_library
+        if kernels == "sac" and kernel_library is None:
             from .kernels import SacKernelLibrary
 
             self.kernel_library = SacKernelLibrary()
@@ -466,7 +485,8 @@ class DistributedMG:
     def solve(self, size_class: str | SizeClass, nit: int | None = None, *,
               checkpoint: CheckpointStore | None = None,
               checkpoint_every: int = 1,
-              restart: bool = False) -> MGResult:
+              restart: bool = False,
+              on_iteration=None) -> MGResult:
         sc = get_class(size_class) if isinstance(size_class, str) else size_class
         # The top two levels must be distributed so the V-cycle's special
         # finest-level handling stays in the distributed code path.
@@ -482,6 +502,7 @@ class DistributedMG:
         iters = sc.nit if nit is None else nit
         world = World(self.nranks, timeout=self.timeout,
                       join_timeout=self.join_timeout,
+                      poll_interval=self.poll_interval,
                       fault_plan=self.fault_plan,
                       halo_checksums=self.halo_checksums,
                       halo_retries=self.halo_retries)
@@ -492,7 +513,7 @@ class DistributedMG:
             t = threading.Thread(
                 target=self._rank_main,
                 args=(world.comm(r), sc, iters, results, checkpoint,
-                      checkpoint_every, restart),
+                      checkpoint_every, restart, on_iteration),
                 name=f"mg-rank-{r}",
                 daemon=True,
             )
@@ -524,11 +545,11 @@ class DistributedMG:
 
     def _rank_main(self, comm: RankComm, sc: SizeClass, iters: int,
                    results: list, store: CheckpointStore | None,
-                   every: int, restart: bool) -> None:
+                   every: int, restart: bool, on_iteration) -> None:
         world = comm.world
         try:
             results[comm.rank] = self._run_rank(comm, sc, iters, store,
-                                                every, restart)
+                                                every, restart, on_iteration)
         except WorldAborted:
             # A casualty of some other rank's recorded failure — don't
             # re-record, just leave the slot empty.
@@ -553,7 +574,8 @@ class DistributedMG:
         return rank * per, per
 
     def _run_rank(self, comm: RankComm, sc: SizeClass, iters: int,
-                  store: CheckpointStore | None, every: int, restart: bool):
+                  store: CheckpointStore | None, every: int, restart: bool,
+                  on_iteration=None):
         a = A_COEFFS
         c = S_COEFFS_A if sc.smoother == "a" else S_COEFFS_B
         lt = sc.lt
@@ -596,6 +618,16 @@ class DistributedMG:
                 comm.world.stats.bump("checkpoints")
             self._v_cycle(u, v, r_levels, a, c, lt, comm)
             r_levels[lt] = self._resid_dist(u, v, a, comm)
+            if on_iteration is not None:
+                # Residual-trajectory hook (the supervisor's numerical
+                # watchdog): every rank contributes to the allreduce so
+                # the collective stays balanced, rank 0 invokes the
+                # callback; an exception it raises aborts the world at
+                # this iteration boundary.
+                ri = r_levels[lt][1:-1, 1:-1, 1:-1]
+                total_sq = comm.allreduce_sum(float(np.sum(ri * ri)))
+                if comm.rank == 0:
+                    on_iteration(it, float(np.sqrt(total_sq / sc.nx ** 3)))
         comm.iteration = None
 
         # Verification norm: allreduce of the interior partial sums.

@@ -1,0 +1,51 @@
+"""Self-healing solver supervision for the MG runtime.
+
+:class:`SupervisedSolver` wraps every MG execution mode behind one
+``solve(size_class, policy)`` call that guarantees a result or a
+structured post-mortem: retry-from-checkpoint with backoff, a
+graceful-degradation ladder (``distributed → threaded → serial``,
+``sac → numpy``), a per-iteration numerical watchdog on the residual
+trajectory, and a circuit breaker over the SAC compile path.
+
+See ``docs/SUPERVISOR.md``.
+"""
+
+from .breaker import BreakerState, CompileCircuitBreaker
+from .errors import (
+    DeadlineExceeded,
+    NumericalDivergence,
+    SupervisionError,
+    SupervisionFailed,
+)
+from .policy import (
+    BreakerPolicy,
+    RetryPolicy,
+    Rung,
+    SupervisorPolicy,
+    WatchdogPolicy,
+    default_ladder,
+)
+from .report import AttemptRecord, DemotionRecord, SolveReport
+from .supervisor import SupervisedResult, SupervisedSolver
+from .watchdog import NumericalWatchdog
+
+__all__ = [
+    "BreakerState",
+    "CompileCircuitBreaker",
+    "SupervisionError",
+    "NumericalDivergence",
+    "DeadlineExceeded",
+    "SupervisionFailed",
+    "Rung",
+    "RetryPolicy",
+    "WatchdogPolicy",
+    "BreakerPolicy",
+    "SupervisorPolicy",
+    "default_ladder",
+    "AttemptRecord",
+    "DemotionRecord",
+    "SolveReport",
+    "NumericalWatchdog",
+    "SupervisedResult",
+    "SupervisedSolver",
+]

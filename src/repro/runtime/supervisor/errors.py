@@ -1,0 +1,76 @@
+"""Exception taxonomy of the supervision layer.
+
+Hierarchy::
+
+    SupervisionError(ResilienceError)
+    ├── NumericalDivergence   the watchdog classified a run as sick
+    ├── DeadlineExceeded      the solve's total wall-clock budget ran out
+    └── SupervisionFailed     every rung exhausted; carries the SolveReport
+
+:class:`SupervisionError` subclasses the resilience layer's base class,
+so a caller that already catches :class:`ResilienceError` absorbs
+supervision failures too.
+"""
+
+from __future__ import annotations
+
+from ..resilience.errors import ResilienceError
+
+__all__ = [
+    "SupervisionError",
+    "NumericalDivergence",
+    "DeadlineExceeded",
+    "SupervisionFailed",
+]
+
+
+class SupervisionError(ResilienceError):
+    """Base class of the supervision-layer failure taxonomy."""
+
+
+class NumericalDivergence(SupervisionError):
+    """The numerical watchdog declared the residual trajectory sick.
+
+    Raised from inside the solver's per-iteration hook, so the attempt
+    aborts at the iteration boundary where the sickness was observed
+    instead of burning the remaining iteration budget.
+    """
+
+    def __init__(self, verdict: str, *, iteration: int | None = None,
+                 value: float | None = None, detail: str = ""):
+        self.verdict = verdict
+        self.iteration = iteration
+        self.value = value
+        msg = f"numerical watchdog: {verdict}"
+        if iteration is not None:
+            msg += f" at iteration {iteration}"
+        if value is not None:
+            msg += f" (rnm2 = {value!r})"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
+class DeadlineExceeded(SupervisionError):
+    """The supervised solve's total deadline budget was exhausted."""
+
+    def __init__(self, deadline: float):
+        self.deadline = deadline
+        super().__init__(
+            f"supervised solve exceeded its {deadline:g}s deadline budget"
+        )
+
+
+class SupervisionFailed(SupervisionError):
+    """Every ladder rung was exhausted; the structured post-mortem is
+    attached as ``report`` (a :class:`~.report.SolveReport`)."""
+
+    def __init__(self, report, *, cause: BaseException | None = None):
+        self.report = report
+        self.cause = cause
+        rungs = ", ".join(report.rungs_tried) or "none"
+        msg = (f"supervised solve of class {report.size_class} failed after "
+               f"{len(report.attempts)} attempt(s) across rungs [{rungs}]")
+        if cause is not None:
+            msg += f"; last error: {type(cause).__name__}: {cause}"
+        super().__init__(msg)

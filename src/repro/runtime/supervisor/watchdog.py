@@ -1,0 +1,74 @@
+"""Per-iteration numerical health guard on the residual trajectory.
+
+A :class:`NumericalWatchdog` is attached to one solve attempt through
+the solvers' ``on_iteration(iteration, rnm2)`` hook.  Each observation
+is checked in order:
+
+1. **non-finite** — a NaN or Inf residual norm is terminal corruption;
+2. **divergent** — the norm exceeds ``divergence_ratio`` × the best norm
+   seen so far (MG contracts the residual every V-cycle, so any growth
+   of that magnitude means the iteration is numerically broken);
+3. **stagnant** — no new best norm within ``stagnation_window``
+   iterations (disabled by default: late-stage roundoff-level residuals
+   legitimately plateau).
+
+A failed check raises :class:`~.errors.NumericalDivergence` *inside the
+solver's iteration loop*, so the attempt aborts at that iteration
+boundary — the supervisor then rolls back and demotes instead of
+burning the remaining iteration budget on a sick run.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .errors import NumericalDivergence
+from .policy import WatchdogPolicy
+
+__all__ = ["NumericalWatchdog"]
+
+
+class NumericalWatchdog:
+    """One attempt's residual-trajectory guard (not thread-safe; the
+    hook is invoked from exactly one thread per attempt)."""
+
+    def __init__(self, policy: WatchdogPolicy | None = None):
+        self.policy = policy if policy is not None else WatchdogPolicy()
+        self.history: list[float] = []
+        self.best = math.inf
+        self.stalls = 0
+        #: The verdict that aborted the attempt, if any.
+        self.verdict: str | None = None
+
+    def _sick(self, verdict: str, iteration: int, value: float,
+              detail: str = "") -> NumericalDivergence:
+        self.verdict = verdict
+        return NumericalDivergence(verdict, iteration=iteration, value=value,
+                                   detail=detail)
+
+    def observe(self, iteration: int, rnm2: float) -> None:
+        """Record one residual norm; raises on a failed health check."""
+        value = float(rnm2)
+        self.history.append(value)
+        if not math.isfinite(value):
+            raise self._sick("non-finite", iteration, value)
+        p = self.policy
+        if self.best < math.inf and value > p.divergence_ratio * self.best:
+            raise self._sick(
+                "divergent", iteration, value,
+                f"exceeded {p.divergence_ratio:g} x best ({self.best!r})",
+            )
+        if value < self.best:
+            self.best = value
+            self.stalls = 0
+        else:
+            self.stalls += 1
+            if p.stagnation_window and self.stalls >= p.stagnation_window:
+                raise self._sick(
+                    "stagnant", iteration, value,
+                    f"no improvement in {self.stalls} iteration(s)",
+                )
+
+    @property
+    def iterations_observed(self) -> int:
+        return len(self.history)

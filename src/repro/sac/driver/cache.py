@@ -173,9 +173,24 @@ class CacheStats:
     disk_hits: int = 0
     corrupt_discarded: int = 0
     stale_discarded: int = 0
+    #: Discards (corrupt or stale) per cache key.  A key that keeps
+    #: being discarded — a corrupt-entry storm — is what the runtime
+    #: supervisor's compile circuit breaker trips on, instead of the
+    #: cache silently eating the corruption on every lookup.
+    discards_by_key: dict = field(default_factory=dict)
 
-    def snapshot(self) -> dict[str, int]:
-        return dict(self.__dict__)
+    def note_discard(self, key: str, *, stale: bool = False) -> None:
+        """Count one discarded entry, globally and per key."""
+        if stale:
+            self.stale_discarded += 1
+        else:
+            self.corrupt_discarded += 1
+        self.discards_by_key[key] = self.discards_by_key.get(key, 0) + 1
+
+    def snapshot(self) -> dict:
+        out = dict(self.__dict__)
+        out["discards_by_key"] = dict(self.discards_by_key)
+        return out
 
 
 @dataclass
@@ -238,14 +253,14 @@ class KernelCache:
         try:
             payload = pickle.loads(blob)
         except Exception:
-            self.stats.corrupt_discarded += 1
+            self.stats.note_discard(key)
             self._unlink(path)
             return None
         if (not isinstance(payload, dict)
                 or payload.get("version") != CACHE_VERSION
                 or payload.get("key") != key
                 or "value" not in payload):
-            self.stats.stale_discarded += 1
+            self.stats.note_discard(key, stale=True)
             self._unlink(path)
             return None
         return payload["value"]
@@ -328,7 +343,7 @@ class KernelCache:
             compiled = load_artifact(artifact)
         except Exception:
             # An artifact that no longer execs is as good as corrupt.
-            self.stats.corrupt_discarded += 1
+            self.stats.note_discard(key)
             self._kernels.memory.pop(key, None)
             path = self._path(self._kernels, key)
             if path is not None:

@@ -246,6 +246,13 @@ class CompilationSession:
     def pass_report(self):
         return self.pass_manager.report
 
+    @property
+    def cache_stats(self):
+        """The shared cache's counters — including ``discards_by_key``,
+        the per-key corrupt/stale discard counts the runtime
+        supervisor's compile circuit breaker watches."""
+        return self.cache.stats
+
     def stage(self, name: str) -> StageRecord:
         return self.stages[name]
 

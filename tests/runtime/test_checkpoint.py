@@ -73,6 +73,53 @@ class TestCheckpointStore:
         with pytest.raises(CheckpointError, match="no state for rank 7"):
             store.restore(2, 7)
 
+    def test_retain_validation(self):
+        with pytest.raises(ValueError, match="retain"):
+            CheckpointStore(retain=0)
+        with pytest.raises(ValueError, match="retain"):
+            CheckpointStore(retain=-1)
+
+    def test_prune_keeps_last_n(self):
+        store = CheckpointStore(retain=2)
+        u, r = _slabs(6)
+        for it in range(5):
+            store.put(it, 0, u, r)
+            store.commit(it, world_size=1)
+        assert store.iterations() == [3, 4]
+        with pytest.raises(CheckpointError):
+            store.restore(0, 0)
+
+    def test_never_prunes_only_snapshot(self):
+        store = CheckpointStore(retain=1)
+        u, r = _slabs(7)
+        store.put(0, 0, u, r)
+        store.commit(0, world_size=1)
+        assert store.latest() == 0
+        store.put(1, 0, u, r)
+        store.commit(1, world_size=1)
+        assert store.iterations() == [1]
+
+    def test_directory_persistence_and_pruning(self, tmp_path):
+        ckdir = tmp_path / "ckpts"
+        store = CheckpointStore(retain=2, directory=ckdir)
+        for it in range(4):
+            for rank in (0, 1):
+                u, r = _slabs(100 * it + rank)
+                store.put(it, rank, u, r)
+            store.commit(it, world_size=2)
+        # Disk mirrors the retained set: old .npz files were deleted.
+        names = sorted(p.name for p in ckdir.glob("ckpt-*.npz"))
+        assert names == ["ckpt-000002.npz", "ckpt-000003.npz"]
+
+        loaded = CheckpointStore.from_directory(ckdir)
+        assert loaded.iterations() == [2, 3]
+        for rank in (0, 1):
+            a = store.restore(3, rank)
+            b = loaded.restore(3, rank)
+            np.testing.assert_array_equal(a.u, b.u)
+            np.testing.assert_array_equal(a.r, b.r)
+        assert loaded.world_size(3) == 2
+
     def test_file_roundtrip(self, tmp_path):
         store = CheckpointStore()
         for it in (0, 1):
@@ -95,14 +142,23 @@ class TestCheckpointStore:
 
 class TestSolveWithCheckpoints:
     def test_checkpointing_does_not_perturb_solution(self):
-        store = CheckpointStore()
+        store = CheckpointStore(retain=None)
         res = DistributedMG(2).solve("T", checkpoint=store)
         ref = DistributedMG(2).solve("T")
         np.testing.assert_array_equal(res.u, ref.u)
         np.testing.assert_array_equal(res.r, ref.r)
         assert res.rnm2 == ref.rnm2
-        # One complete snapshot per iteration boundary.
+        # One complete snapshot per iteration boundary (retain=None
+        # disables pruning).
         assert store.iterations() == [0, 1, 2, 3]
+
+    def test_default_retention_prunes_old_snapshots(self):
+        # Default retain=2: a class-T solve (4 iterations) keeps only
+        # the two newest complete snapshots.
+        store = CheckpointStore()
+        DistributedMG(2).solve("T", checkpoint=store)
+        assert store.iterations() == [2, 3]
+        assert store.latest() == 3
 
     def test_checkpoint_every(self):
         store = CheckpointStore()

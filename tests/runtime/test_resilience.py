@@ -113,6 +113,33 @@ class TestTimeouts:
         with pytest.raises(ValueError, match="REPRO_SPMD_TIMEOUT"):
             World(1)
 
+    def test_poll_interval_parameter(self):
+        from repro.runtime.spmd import DEFAULT_POLL_INTERVAL
+
+        assert World(1).poll_interval == DEFAULT_POLL_INTERVAL
+        assert World(1, poll_interval=0.005).poll_interval == 0.005
+        with pytest.raises(ValueError, match="poll_interval"):
+            World(1, poll_interval=0.0)
+
+    def test_poll_interval_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_POLL_INTERVAL", "0.0075")
+        assert World(1).poll_interval == 0.0075
+        # An explicit parameter wins over the environment.
+        assert World(1, poll_interval=0.02).poll_interval == 0.02
+
+    def test_poll_interval_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SPMD_POLL_INTERVAL", "quick")
+        with pytest.raises(ValueError, match="REPRO_SPMD_POLL_INTERVAL"):
+            World(1)
+
+    def test_poll_interval_plumbs_to_distributed_solve(self):
+        # A tight poll interval must leave results bit-identical.
+        mg = DistributedMG(2, poll_interval=0.001)
+        res = mg.solve("T")
+        assert mg.last_world.poll_interval == 0.001
+        ref = FortranMG().solve("T")
+        np.testing.assert_array_equal(res.u, ref.u)
+
     def test_recv_timeout_wraps_queue_empty(self):
         w = World(2, timeout=0.2)
         t0 = time.monotonic()
@@ -228,8 +255,41 @@ class TestFaultPlan:
             Fault(FaultKind.DROP, rank=-1)
         with pytest.raises(ValueError):
             Fault(FaultKind.DROP, rank=0, count=0)
+        with pytest.raises(ValueError):
+            Fault(FaultKind.DROP, rank=0, scope="galaxy")
         with pytest.raises(TypeError):
             FaultPlan(["crash"])
+
+    def test_world_scope_refires_per_injector(self):
+        # The default: each World (= each injector build) gets a fresh
+        # budget, modelling a persistent fault that survives retries.
+        plan = FaultPlan([Fault(FaultKind.CRASH, rank=0, iteration=1)])
+        for _ in range(2):
+            inj = plan.injector(0)
+            with pytest.raises(InjectedFault):
+                inj.iteration_start(1)
+
+    def test_plan_scope_fires_once_across_injectors(self):
+        # A transient fault: one shared budget across every World built
+        # from the plan, so a retried attempt runs clean.
+        plan = FaultPlan([Fault(FaultKind.CRASH, rank=0, iteration=1,
+                                scope="plan")])
+        inj = plan.injector(0)
+        with pytest.raises(InjectedFault):
+            inj.iteration_start(1)
+        clean = plan.injector(0)  # the "retry" World
+        clean.iteration_start(1)  # must not raise
+
+    def test_plan_scope_budget_spans_message_faults(self):
+        plan = FaultPlan([Fault(FaultKind.DROP, rank=0, count=2,
+                                scope="plan")])
+        first = plan.injector(0)
+        first.iteration_start(0)
+        assert first.on_message("halo", 3, object())[0] == "drop"
+        second = plan.injector(0)
+        second.iteration_start(0)
+        assert second.on_message("halo", 3, object())[0] == "drop"
+        assert second.on_message("halo", 3, object())[0] == "deliver"
 
 
 # ---------------------------------------------------------------------------

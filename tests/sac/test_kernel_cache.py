@@ -127,6 +127,15 @@ class TestDiskRobustness:
         k = warm.compile_kernel("scale", [u, 2.0])  # must not raise
         assert k is not None
         assert warm.cache.stats.corrupt_discarded >= 1
+        # Discards are attributed per key, and surfaced via the session.
+        assert warm.cache.stats.discards_by_key
+        assert sum(warm.cache.stats.discards_by_key.values()) >= 1
+        assert (warm.cache_stats.discards_by_key
+                == warm.cache.stats.discards_by_key)
+        snap = warm.cache.stats.snapshot()
+        assert snap["discards_by_key"] == warm.cache.stats.discards_by_key
+        snap["discards_by_key"]["tampered"] = 99  # snapshot is a copy
+        assert "tampered" not in warm.cache.stats.discards_by_key
         # The corrupt files were unlinked and replaced by the re-compile.
         for f in self._kernel_files(tmp_path):
             assert pickle.loads(f.read_bytes())["version"] == CACHE_VERSION
@@ -142,6 +151,7 @@ class TestDiskRobustness:
         k = warm.compile_kernel("scale", [u, 2.0])
         assert k is not None
         assert warm.cache.stats.stale_discarded >= 1
+        assert warm.cache.stats.discards_by_key  # stale counts per key too
 
     def test_truncated_program_entry_discarded(self, tmp_path):
         _session(tmp_path)  # populates the program cache

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI smoke check for the perf bench command.
+
+Runs ``python -m repro.harness bench -c S --modes serial,threaded`` in a
+fresh interpreter, then validates the emitted ``BENCH_<n>.json``:
+
+* the document matches the ``repro.perf/bench/1`` schema,
+* every benched mode passed NPB verification,
+* every benched mode ran the timed section allocation-free once the
+  Workspace pool was warm (``steady_state_allocations == 0``).
+
+The JSON file is left in place (by default ``BENCH_5.json`` in the
+working directory) so the CI job can upload it as an artifact.  Exits
+non-zero with a diagnostic on any violation.  Usage:
+
+    PYTHONPATH=src python scripts/bench_smoke.py [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None,
+                        help="bench JSON path (default: BENCH_<current>.json)")
+    parser.add_argument("--modes", default="serial,threaded",
+                        help="comma-separated modes to bench "
+                        "(default: serial,threaded)")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    from repro.perf import CURRENT_BENCH_ID, bench_path, validate_bench_document
+
+    out = args.out or bench_path(CURRENT_BENCH_ID)
+    cmd = [sys.executable, "-m", "repro.harness", "bench",
+           "-c", "S", "--modes", args.modes,
+           "-r", str(args.repeats), "--bench-out", out]
+    print("$", " ".join(cmd))
+    proc = subprocess.run(cmd, env=dict(os.environ))
+    if proc.returncode != 0:
+        sys.exit(f"bench command exited with status {proc.returncode}")
+
+    with open(out) as fh:
+        doc = json.load(fh)
+
+    failures = list(validate_bench_document(doc))
+    modes = doc.get("modes", {})
+    wanted = [m.strip() for m in args.modes.split(",") if m.strip()]
+    for mode in wanted:
+        if mode not in modes:
+            failures.append(f"mode {mode!r} missing from document")
+            continue
+        entry = modes[mode]
+        if not entry.get("verified"):
+            failures.append(f"{mode}: NPB verification failed")
+        steady = entry.get("pool", {}).get("steady_state_allocations")
+        if steady != 0:
+            failures.append(f"{mode}: {steady} steady-state pool misses "
+                            "(timed section is not allocation-free)")
+
+    if failures:
+        print("FAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print(f"OK: {out} valid ({', '.join(wanted)}; all verified, "
+          "steady-state allocation-free)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

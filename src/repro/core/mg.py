@@ -11,6 +11,7 @@ against this module.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,70 +40,130 @@ _M = slice(0, -2)
 _P = slice(2, None)
 
 
-def _plane_sums(u: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+def _scratch(ws, name: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Uninitialized scratch, pooled per ``(name, shape)`` when a
+    :class:`~repro.perf.workspace.Workspace` is given.  Every scratch
+    buffer's first use is a full write."""
+    if ws is None:
+        return np.empty(shape)
+    return ws.get(name, shape)
+
+
+def _plane_sums_into(u: np.ndarray, u1: np.ndarray,
+                     u2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """NPB's shared auxiliary buffers over the full x extent.
 
     ``u1(i1) = u(i1,i2-1,i3) + u(i1,i2+1,i3) + u(i1,i2,i3-1) + u(i1,i2,i3+1)``
     ``u2(i1) = u(i1,i2-1,i3-1) + u(i1,i2+1,i3-1) + u(i1,i2-1,i3+1) + u(i1,i2+1,i3+1)``
 
-    Addition order matches the Fortran source exactly, term by term, so
-    the whole solver is bit-reproducible against NPB 2.3 (axis order here
-    is ``[i3, i2, i1]``).
+    Built with in-place adds in exactly the left-to-right order of the
+    Fortran source, term by term, so the whole solver stays
+    bit-reproducible against NPB 2.3 (axis order here is ``[i3, i2,
+    i1]``).
     """
-    u1 = u[_C, _M, :] + u[_C, _P, :] + u[_M, _C, :] + u[_P, _C, :]
-    u2 = u[_M, _M, :] + u[_M, _P, :] + u[_P, _M, :] + u[_P, _P, :]
+    np.add(u[_C, _M, :], u[_C, _P, :], out=u1)
+    np.add(u1, u[_M, _C, :], out=u1)
+    np.add(u1, u[_P, _C, :], out=u1)
+    np.add(u[_M, _M, :], u[_M, _P, :], out=u2)
+    np.add(u2, u[_P, _M, :], out=u2)
+    np.add(u2, u[_P, _P, :], out=u2)
     return u1, u2
 
 
 def resid(u: np.ndarray, v: np.ndarray, a=A_COEFFS, trace: Trace | None = None,
-          level: int = 0) -> np.ndarray:
+          level: int = 0, *, out: np.ndarray | None = None, ws=None,
+          monitor=None) -> np.ndarray:
     """Residual ``r = v - A u`` on an extended grid, ghosts refreshed.
 
     ``u`` and ``v`` must have valid periodic borders.  For the NPB
     operator (``a1 == 0``) this reproduces the Fortran ``resid`` bit for
     bit, including its omission of the zero coefficient.
+
+    ``out`` (or the workspace buffer used when ``ws`` is given) is fully
+    overwritten — interior by the accumulation, ghosts by the trailing
+    ``comm3`` — so a reused buffer cannot leak stale values.  ``out``
+    may alias ``v`` (NPB updates ``r`` in place): the accumulation reads
+    ``v`` exactly once before ``out`` is written.
     """
+    t0 = time.perf_counter() if monitor is not None else 0.0
     a = tuple(float(x) for x in a)
-    u1, u2 = _plane_sums(u)
-    r = np.zeros_like(u)
-    acc = v[_C, _C, _C] - a[0] * u[_C, _C, _C]
+    n3, n2, n1 = u.shape
+    m = (n3 - 2, n2 - 2, n1 - 2)
+    u1 = _scratch(ws, "mg.u1", (n3 - 2, n2 - 2, n1))
+    u2 = _scratch(ws, "mg.u2", (n3 - 2, n2 - 2, n1))
+    _plane_sums_into(u, u1, u2)
+    if out is None:
+        out = np.zeros_like(u) if ws is None else ws.get("resid.out", u.shape)
+    acc = _scratch(ws, "mg.acc", m)
+    tmp = _scratch(ws, "mg.tmp", m)
+    np.multiply(u[_C, _C, _C], a[0], out=tmp)
+    np.subtract(v[_C, _C, _C], tmp, out=acc)
     if a[1] != 0.0:
-        acc = acc - a[1] * ((u[_C, _C, _M] + u[_C, _C, _P]) + u1[:, :, _C])
-    acc = acc - a[2] * ((u2[:, :, _C] + u1[:, :, _M]) + u1[:, :, _P])
-    acc = acc - a[3] * (u2[:, :, _M] + u2[:, :, _P])
-    r[_C, _C, _C] = acc
-    comm3(r)
+        np.add(u[_C, _C, _M], u[_C, _C, _P], out=tmp)
+        np.add(tmp, u1[:, :, _C], out=tmp)
+        np.multiply(tmp, a[1], out=tmp)
+        np.subtract(acc, tmp, out=acc)
+    np.add(u2[:, :, _C], u1[:, :, _M], out=tmp)
+    np.add(tmp, u1[:, :, _P], out=tmp)
+    np.multiply(tmp, a[2], out=tmp)
+    np.subtract(acc, tmp, out=acc)
+    np.add(u2[:, :, _M], u2[:, :, _P], out=tmp)
+    np.multiply(tmp, a[3], out=tmp)
+    np.subtract(acc, tmp, out=acc)
+    out[_C, _C, _C] = acc
+    comm3(out)
     if trace is not None:
         n = u.shape[0] - 2
         trace.record("resid", level, n ** 3)
         trace.record("comm3", level, n ** 3)
-    return r
+    if monitor is not None:
+        monitor.add("resid", time.perf_counter() - t0)
+    return out
 
 
 def psinv(r: np.ndarray, u: np.ndarray, c, trace: Trace | None = None,
-          level: int = 0) -> np.ndarray:
+          level: int = 0, *, ws=None, monitor=None) -> np.ndarray:
     """Smoothing step ``u += S r`` in place, ghosts refreshed.
 
     Bit-exact against NPB's ``psinv`` for its coefficient sets
     (``c3 == 0``); the ``c3`` term is included for generic stencils.
     """
+    t0 = time.perf_counter() if monitor is not None else 0.0
     c = tuple(float(x) for x in c)
-    r1, r2 = _plane_sums(r)
-    acc = u[_C, _C, _C] + c[0] * r[_C, _C, _C]
-    acc = acc + c[1] * ((r[_C, _C, _M] + r[_C, _C, _P]) + r1[:, :, _C])
-    acc = acc + c[2] * ((r2[:, :, _C] + r1[:, :, _M]) + r1[:, :, _P])
+    n3, n2, n1 = r.shape
+    m = (n3 - 2, n2 - 2, n1 - 2)
+    r1 = _scratch(ws, "mg.u1", (n3 - 2, n2 - 2, n1))
+    r2 = _scratch(ws, "mg.u2", (n3 - 2, n2 - 2, n1))
+    _plane_sums_into(r, r1, r2)
+    acc = _scratch(ws, "mg.acc", m)
+    tmp = _scratch(ws, "mg.tmp", m)
+    np.multiply(r[_C, _C, _C], c[0], out=tmp)
+    np.add(u[_C, _C, _C], tmp, out=acc)
+    np.add(r[_C, _C, _M], r[_C, _C, _P], out=tmp)
+    np.add(tmp, r1[:, :, _C], out=tmp)
+    np.multiply(tmp, c[1], out=tmp)
+    np.add(acc, tmp, out=acc)
+    np.add(r2[:, :, _C], r1[:, :, _M], out=tmp)
+    np.add(tmp, r1[:, :, _P], out=tmp)
+    np.multiply(tmp, c[2], out=tmp)
+    np.add(acc, tmp, out=acc)
     if c[3] != 0.0:
-        acc = acc + c[3] * (r2[:, :, _M] + r2[:, :, _P])
+        np.add(r2[:, :, _M], r2[:, :, _P], out=tmp)
+        np.multiply(tmp, c[3], out=tmp)
+        np.add(acc, tmp, out=acc)
     u[_C, _C, _C] = acc
     comm3(u)
     if trace is not None:
         n = u.shape[0] - 2
         trace.record("psinv", level, n ** 3)
         trace.record("comm3", level, n ** 3)
+    if monitor is not None:
+        monitor.add("psinv", time.perf_counter() - t0)
     return u
 
 
-def rprj3(r: np.ndarray, trace: Trace | None = None, level: int = 0) -> np.ndarray:
+def rprj3(r: np.ndarray, trace: Trace | None = None, level: int = 0, *,
+          out: np.ndarray | None = None, ws=None, monitor=None) -> np.ndarray:
     """Project a fine residual onto the next coarser grid (NPB ``rprj3``).
 
     Full weighting: coefficient 1/2 for the (fine) center, 1/4 / 1/8 /
@@ -110,11 +171,16 @@ def rprj3(r: np.ndarray, trace: Trace | None = None, level: int = 0) -> np.ndarr
     Fortran source exactly (the ``x1``/``y1`` shared buffers at odd fine
     x positions, then the four-class combination), so results are
     bit-identical to NPB 2.3.
+
+    ``out`` (or the pooled buffer when ``ws`` is given) is fully
+    overwritten — interior here, ghosts by ``comm3``.
     """
+    t0 = time.perf_counter() if monitor is not None else 0.0
     nf = r.shape[0] - 2
     if nf < 4 or nf % 2:
         raise ValueError(f"cannot project a grid with interior {nf}")
     n = nf + 2
+    mh = nf // 2
     c0 = slice(2, n - 1, 2)  # fine centers along i3 (0-based even)
     m0 = slice(1, n - 2, 2)
     p0 = slice(3, n, 2)
@@ -123,29 +189,54 @@ def rprj3(r: np.ndarray, trace: Trace | None = None, level: int = 0) -> np.ndarr
     cx, mx, px = c0, m0, p0  # center / +-1 along i1 at result points
 
     # Shared buffers over the odd x extent (NPB's x1, y1).
-    x1 = r[c0, m1, ox] + r[c0, p1, ox] + r[m0, c1, ox] + r[p0, c1, ox]
-    y1 = r[m0, m1, ox] + r[p0, m1, ox] + r[m0, p1, ox] + r[p0, p1, ox]
+    x1 = _scratch(ws, "rprj3.x1", (mh, mh, mh + 1))
+    y1 = _scratch(ws, "rprj3.y1", (mh, mh, mh + 1))
+    np.add(r[c0, m1, ox], r[c0, p1, ox], out=x1)
+    np.add(x1, r[m0, c1, ox], out=x1)
+    np.add(x1, r[p0, c1, ox], out=x1)
+    np.add(r[m0, m1, ox], r[p0, m1, ox], out=y1)
+    np.add(y1, r[m0, p1, ox], out=y1)
+    np.add(y1, r[p0, p1, ox], out=y1)
     # Per-point sums at center x (NPB's x2, y2).
-    x2 = r[c0, m1, cx] + r[c0, p1, cx] + r[m0, c1, cx] + r[p0, c1, cx]
-    y2 = r[m0, m1, cx] + r[p0, m1, cx] + r[m0, p1, cx] + r[p0, p1, cx]
+    x2 = _scratch(ws, "rprj3.x2", (mh, mh, mh))
+    y2 = _scratch(ws, "rprj3.y2", (mh, mh, mh))
+    np.add(r[c0, m1, cx], r[c0, p1, cx], out=x2)
+    np.add(x2, r[m0, c1, cx], out=x2)
+    np.add(x2, r[p0, c1, cx], out=x2)
+    np.add(r[m0, m1, cx], r[p0, m1, cx], out=y2)
+    np.add(y2, r[m0, p1, cx], out=y2)
+    np.add(y2, r[p0, p1, cx], out=y2)
 
-    acc = 0.5 * r[c0, c1, cx]
-    acc = acc + 0.25 * ((r[c0, c1, mx] + r[c0, c1, px]) + x2)
-    acc = acc + 0.125 * ((x1[:, :, :-1] + x1[:, :, 1:]) + y2)
-    acc = acc + 0.0625 * (y1[:, :, :-1] + y1[:, :, 1:])
+    acc = _scratch(ws, "rprj3.acc", (mh, mh, mh))
+    tmp = _scratch(ws, "rprj3.tmp", (mh, mh, mh))
+    np.multiply(r[c0, c1, cx], 0.5, out=acc)
+    np.add(r[c0, c1, mx], r[c0, c1, px], out=tmp)
+    np.add(tmp, x2, out=tmp)
+    np.multiply(tmp, 0.25, out=tmp)
+    np.add(acc, tmp, out=acc)
+    np.add(x1[:, :, :-1], x1[:, :, 1:], out=tmp)
+    np.add(tmp, y2, out=tmp)
+    np.multiply(tmp, 0.125, out=tmp)
+    np.add(acc, tmp, out=acc)
+    np.add(y1[:, :, :-1], y1[:, :, 1:], out=tmp)
+    np.multiply(tmp, 0.0625, out=tmp)
+    np.add(acc, tmp, out=acc)
 
-    s = make_grid(nf // 2)
-    s[1:-1, 1:-1, 1:-1] = acc
-    comm3(s)
+    if out is None:
+        out = make_grid(mh) if ws is None else ws.get("rprj3.out",
+                                                      (mh + 2,) * 3)
+    out[1:-1, 1:-1, 1:-1] = acc
+    comm3(out)
     if trace is not None:
-        m = nf // 2
-        trace.record("rprj3", level, m ** 3)
-        trace.record("comm3", level, m ** 3)
-    return s
+        trace.record("rprj3", level, mh ** 3)
+        trace.record("comm3", level, mh ** 3)
+    if monitor is not None:
+        monitor.add("rprj3", time.perf_counter() - t0)
+    return out
 
 
 def interp_add(z: np.ndarray, u: np.ndarray, trace: Trace | None = None,
-               level: int = 0) -> np.ndarray:
+               level: int = 0, *, ws=None, monitor=None) -> np.ndarray:
     """Add the trilinear prolongation of coarse ``z`` into fine ``u``.
 
     Writes the whole fine extent including ghost cells; because ``z`` has
@@ -154,6 +245,7 @@ def interp_add(z: np.ndarray, u: np.ndarray, trace: Trace | None = None,
     ``comm3``).  The ``z1``/``z2``/``z3`` buffer sums follow the Fortran
     order term by term, so the update is bit-identical to NPB 2.3.
     """
+    t0 = time.perf_counter() if monitor is not None else 0.0
     m = z.shape[0] - 2
     nf = u.shape[0] - 2
     if nf != 2 * m:
@@ -162,57 +254,95 @@ def interp_add(z: np.ndarray, u: np.ndarray, trace: Trace | None = None,
     # Coarse source range 0..m (m+1 values) along each axis.
     L = slice(0, -1)   # z(i)
     H = slice(1, None)  # z(i+1)
-    z1 = z[L, H, :] + z[L, L, :]          # z(i2+1,i3) + z(i2,i3)
-    z2 = z[H, L, :] + z[L, L, :]          # z(i2,i3+1) + z(i2,i3)
-    z3 = (z[H, H, :] + z[H, L, :]) + z1   # z(i2+1,i3+1) + z(i2,i3+1) + z1
+    z1 = _scratch(ws, "interp.z1", (m + 1, m + 1, m + 2))
+    z2 = _scratch(ws, "interp.z2", (m + 1, m + 1, m + 2))
+    z3 = _scratch(ws, "interp.z3", (m + 1, m + 1, m + 2))
+    np.add(z[L, H, :], z[L, L, :], out=z1)   # z(i2+1,i3) + z(i2,i3)
+    np.add(z[H, L, :], z[L, L, :], out=z2)   # z(i2,i3+1) + z(i2,i3)
+    np.add(z[H, H, :], z[H, L, :], out=z3)   # z(i2+1,i3+1) + z(i2,i3+1) + z1
+    np.add(z3, z1, out=z3)
 
     E = slice(0, n - 1, 2)  # fine 0-based even targets (Fortran 2i-1)
     O = slice(1, n, 2)      # fine 0-based odd targets  (Fortran 2i)
-    zL = z[L, L, L]
-    u[E, E, E] += zL
-    u[E, E, O] += 0.5 * (z[L, L, H] + z[L, L, L])
-    u[E, O, E] += 0.5 * z1[:, :, :-1]
-    u[E, O, O] += 0.25 * (z1[:, :, :-1] + z1[:, :, 1:])
-    u[O, E, E] += 0.5 * z2[:, :, :-1]
-    u[O, E, O] += 0.25 * (z2[:, :, :-1] + z2[:, :, 1:])
-    u[O, O, E] += 0.25 * z3[:, :, :-1]
-    u[O, O, O] += 0.125 * (z3[:, :, :-1] + z3[:, :, 1:])
+    tmp = _scratch(ws, "interp.tmp", (m + 1, m + 1, m + 1))
+    u[E, E, E] += z[L, L, L]
+    np.add(z[L, L, H], z[L, L, L], out=tmp)
+    np.multiply(tmp, 0.5, out=tmp)
+    u[E, E, O] += tmp
+    np.multiply(z1[:, :, :-1], 0.5, out=tmp)
+    u[E, O, E] += tmp
+    np.add(z1[:, :, :-1], z1[:, :, 1:], out=tmp)
+    np.multiply(tmp, 0.25, out=tmp)
+    u[E, O, O] += tmp
+    np.multiply(z2[:, :, :-1], 0.5, out=tmp)
+    u[O, E, E] += tmp
+    np.add(z2[:, :, :-1], z2[:, :, 1:], out=tmp)
+    np.multiply(tmp, 0.25, out=tmp)
+    u[O, E, O] += tmp
+    np.multiply(z3[:, :, :-1], 0.25, out=tmp)
+    u[O, O, E] += tmp
+    np.add(z3[:, :, :-1], z3[:, :, 1:], out=tmp)
+    np.multiply(tmp, 0.125, out=tmp)
+    u[O, O, O] += tmp
     if trace is not None:
         trace.record("interp", level, nf ** 3)
+    if monitor is not None:
+        monitor.add("interp", time.perf_counter() - t0)
     return u
 
 
 def mg3P(u: np.ndarray, v: np.ndarray, r_levels: dict[int, np.ndarray],
-         a, c, lt: int, lb: int = 1, trace: Trace | None = None) -> None:
+         a, c, lt: int, lb: int = 1, trace: Trace | None = None, *,
+         ws=None, monitor=None) -> None:
     """One V-cycle (NPB ``mg3P``), updating ``u`` in place.
 
     ``r_levels[lt]`` holds the current finest residual on entry; levels
     below are scratch storage owned by the caller (their contents are
     overwritten by the down cycle).
+
+    With a workspace, each level's residual lives in one pooled buffer
+    reused across iterations (``out=`` rebinds it in place, NPB's static
+    ``r`` layout), the per-level correction grids come zero-filled from
+    the pool, and the mid-level residual update writes back into
+    ``r_levels[k]`` itself (safe: :func:`resid` reads ``v`` once before
+    writing ``out``).
     """
     u_levels: dict[int, np.ndarray] = {}
     # Down cycle: restrict the residual to the coarsest level.
     for k in range(lt, lb, -1):
-        r_levels[k - 1] = rprj3(r_levels[k], trace, level=k - 1)
+        r_levels[k - 1] = rprj3(r_levels[k], trace, level=k - 1,
+                                out=r_levels.get(k - 1), ws=ws,
+                                monitor=monitor)
     # Coarsest grid: one smoothing step from a zero guess.
-    uk = make_grid((1 << lb))
+    if ws is None:
+        uk = make_grid(1 << lb)
+    else:
+        uk = ws.zeros("mg3P.u", ((1 << lb) + 2,) * 3)
     if trace is not None:
         trace.record("zero3", lb, (1 << lb) ** 3)
-    psinv(r_levels[lb], uk, c, trace, level=lb)
+    psinv(r_levels[lb], uk, c, trace, level=lb, ws=ws, monitor=monitor)
     u_levels[lb] = uk
     # Up cycle.
     for k in range(lb + 1, lt):
-        uk = make_grid(1 << k)
+        if ws is None:
+            uk = make_grid(1 << k)
+        else:
+            uk = ws.zeros("mg3P.u", ((1 << k) + 2,) * 3)
         if trace is not None:
             trace.record("zero3", k, (1 << k) ** 3)
-        interp_add(u_levels[k - 1], uk, trace, level=k)
-        r_levels[k] = resid(uk, r_levels[k], a, trace, level=k)
-        psinv(r_levels[k], uk, c, trace, level=k)
+        interp_add(u_levels[k - 1], uk, trace, level=k, ws=ws,
+                   monitor=monitor)
+        r_levels[k] = resid(uk, r_levels[k], a, trace, level=k,
+                            out=r_levels[k] if ws is not None else None,
+                            ws=ws, monitor=monitor)
+        psinv(r_levels[k], uk, c, trace, level=k, ws=ws, monitor=monitor)
         u_levels[k] = uk
     # Finest grid: correct the solution itself.
-    interp_add(u_levels[lt - 1], u, trace, level=lt)
-    r_levels[lt] = resid(u, v, a, trace, level=lt)
-    psinv(r_levels[lt], u, c, trace, level=lt)
+    interp_add(u_levels[lt - 1], u, trace, level=lt, ws=ws, monitor=monitor)
+    r_levels[lt] = resid(u, v, a, trace, level=lt,
+                         out=r_levels[lt] if ws is not None else None,
+                         ws=ws, monitor=monitor)
+    psinv(r_levels[lt], u, c, trace, level=lt, ws=ws, monitor=monitor)
 
 
 @dataclass
@@ -249,7 +379,7 @@ class MGResult:
 
 def solve(size_class: str | SizeClass, nit: int | None = None, *,
           collect_trace: bool = False, keep_history: bool = False,
-          on_iteration=None) -> MGResult:
+          on_iteration=None, ws=None, monitor=None) -> MGResult:
     """Run the full NAS MG benchmark for a size class.
 
     Follows the timed section of NPB ``mg.f``: ``u = 0``, ``v = zran3``,
@@ -259,6 +389,14 @@ def solve(size_class: str | SizeClass, nit: int | None = None, *,
     ``on_iteration(iteration, rnm2)``, if given, is called after each
     V-cycle with the current residual norm (the supervisor's numerical
     watchdog hooks in here); an exception it raises aborts the solve.
+
+    ``ws`` (a :class:`~repro.perf.workspace.Workspace`) pools every
+    extended-grid temporary of the timed section — after the first
+    V-cycle warms the pool, iterations run allocation-free and
+    bit-identical to the allocating path.  ``MGResult.r`` then
+    references a pool buffer (copy it before reusing the workspace).
+    ``monitor`` (any object with ``add(section, seconds)``) receives
+    per-operator wall time.
     """
     sc = get_class(size_class) if isinstance(size_class, str) else size_class
     iters = sc.nit if nit is None else nit
@@ -270,13 +408,15 @@ def solve(size_class: str | SizeClass, nit: int | None = None, *,
     u = make_grid(sc.nx)
     v = zran3(sc.nx)
     r_levels: dict[int, np.ndarray] = {}
-    r_levels[lt] = resid(u, v, a, trace, level=lt)
+    r_levels[lt] = resid(u, v, a, trace, level=lt, ws=ws, monitor=monitor)
     history: list[float] = []
     if keep_history:
         history.append(norm2u3(r_levels[lt])[0])
     for it in range(iters):
-        mg3P(u, v, r_levels, a, c, lt, lb, trace)
-        r_levels[lt] = resid(u, v, a, trace, level=lt)
+        mg3P(u, v, r_levels, a, c, lt, lb, trace, ws=ws, monitor=monitor)
+        r_levels[lt] = resid(u, v, a, trace, level=lt,
+                             out=r_levels[lt] if ws is not None else None,
+                             ws=ws, monitor=monitor)
         if keep_history or on_iteration is not None:
             rnm2_it = norm2u3(r_levels[lt])[0]
             if keep_history:

@@ -28,6 +28,19 @@ performance analysis:
 
 :func:`op_counts` reports the per-point multiply/add counts of each
 formulation for each operator, regenerating the §5 arithmetic claims.
+
+All three kernels share one ``out=`` contract: the interior holds the
+stencil result and the ghost shell is zero — *also* when a
+caller-supplied ``out`` buffer with stale ghost values is reused (the
+ghost shell is explicitly cleared), and ``out`` must not alias ``u``
+(slice views of ``u`` are read while the interior of ``out`` is
+written; aliasing is detected and raises :class:`StencilAliasError`,
+code ``MG001``).  The kernels accumulate with in-place ufunc ``out=``
+forms into scratch buffers — pass a
+:class:`~repro.perf.workspace.Workspace` as ``ws`` to reuse the scratch
+across calls and run allocation-free; the arithmetic order is identical
+either way, so results are bit-identical to the original
+``acc = acc + c * (...)`` formulation.
 """
 
 from __future__ import annotations
@@ -43,6 +56,7 @@ __all__ = [
     "P_COEFFS",
     "Q_COEFFS",
     "STENCILS",
+    "StencilAliasError",
     "offset_class",
     "offsets_by_class",
     "stencil_weights_27",
@@ -52,6 +66,26 @@ __all__ = [
     "OpCount",
     "op_counts",
 ]
+
+
+class StencilAliasError(ValueError):
+    """``out=`` aliases the input grid (error code ``MG001``).
+
+    The relaxation kernels read shifted slice views of ``u`` while
+    writing ``out``'s interior; with overlapping storage the reads
+    observe partially updated values and the result is silently
+    corrupted, so aliasing is rejected up front.
+    """
+
+    code = "MG001"
+
+    def __init__(self, kernel: str):
+        super().__init__(
+            f"[{self.code}] {kernel}: out= shares memory with the input "
+            "grid u; the kernel reads shifted views of u while writing "
+            "out's interior, which would silently corrupt the result. "
+            "Pass a distinct output buffer."
+        )
 
 #: Residual operator A (paper §3 / NPB ``a``).
 A_COEFFS = (-8.0 / 3.0, 0.0, 1.0 / 6.0, 1.0 / 12.0)
@@ -110,26 +144,69 @@ def _shift(u: np.ndarray, o3: int, o2: int, o1: int) -> np.ndarray:
     return u[ax(o3, n3), ax(o2, n2), ax(o1, n1)]
 
 
-def relax_naive(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarray:
+def _scratch(ws, name: str, shape: tuple[int, ...]) -> np.ndarray:
+    """Uninitialized scratch buffer, pooled when a workspace is given.
+
+    Every scratch buffer's first use below is a full-write ufunc
+    (``np.add(a, b, out=buf)``) or an explicit ``fill``, so reused
+    contents can never leak into a result.
+    """
+    if ws is None:
+        return np.empty(shape)
+    return ws.get(name, shape)
+
+
+def _prepare_out(kernel: str, u: np.ndarray, out: np.ndarray | None,
+                 ws) -> np.ndarray:
+    """Resolve and sanitize the ``out=`` buffer of a relaxation kernel.
+
+    Rejects buffers aliasing ``u`` (:class:`StencilAliasError`, MG001)
+    and zeroes the ghost shell so the documented "ghosts are zero"
+    contract holds even for reused buffers with stale ghost values.
+    """
+    if out is None:
+        if ws is None:
+            return np.zeros_like(u)
+        out = ws.get(f"{kernel}.out", u.shape)
+    elif np.shares_memory(out, u):
+        raise StencilAliasError(kernel)
+    # Zero the six ghost faces (the interior is fully overwritten).
+    out[0] = 0.0
+    out[-1] = 0.0
+    out[:, 0] = 0.0
+    out[:, -1] = 0.0
+    out[:, :, 0] = 0.0
+    out[:, :, -1] = 0.0
+    return out
+
+
+def relax_naive(u: np.ndarray, c, out: np.ndarray | None = None, *,
+                ws=None) -> np.ndarray:
     """Apply the stencil with one multiply per neighbour (27 mul, 26 add).
 
     ``u`` must have valid ghost layers.  Returns an extended grid whose
     interior holds the stencil result and whose ghosts are zero (callers
-    refresh them with :func:`~repro.core.grid.comm3` when needed).
+    refresh them with :func:`~repro.core.grid.comm3` when needed); see
+    the module docstring for the full ``out=``/``ws`` contract.
     """
     w = stencil_weights_27(c)
-    if out is None:
-        out = np.zeros_like(u)
-    acc = np.zeros_like(_shift(u, 0, 0, 0))
+    out = _prepare_out("relax_naive", u, out, ws)
+    m = tuple(n - 2 for n in u.shape)
+    acc = _scratch(ws, "relax.acc", m)
+    tmp = _scratch(ws, "relax.tmp", m)
+    acc.fill(0.0)
     for o3 in (-1, 0, 1):
         for o2 in (-1, 0, 1):
             for o1 in (-1, 0, 1):
-                acc += w[o3 + 1, o2 + 1, o1 + 1] * _shift(u, o3, o2, o1)
+                np.multiply(_shift(u, o3, o2, o1),
+                            w[o3 + 1, o2 + 1, o1 + 1], out=tmp)
+                np.add(acc, tmp, out=acc)
     out[1:-1, 1:-1, 1:-1] = acc
     return out
 
 
-def relax_grouped(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarray:
+def relax_grouped(u: np.ndarray, c, out: np.ndarray | None = None, *,
+                  ws=None) -> np.ndarray:
     """Apply the stencil with coefficient grouping (4 multiplies).
 
     Sums each distance class first, then multiplies once per class and
@@ -137,21 +214,26 @@ def relax_grouped(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarray
     the paper's implementations share.
     """
     c = tuple(float(x) for x in c)
-    if out is None:
-        out = np.zeros_like(u)
-    acc = np.zeros_like(_shift(u, 0, 0, 0))
+    out = _prepare_out("relax_grouped", u, out, ws)
+    m = tuple(n - 2 for n in u.shape)
+    acc = _scratch(ws, "relax.acc", m)
+    group = _scratch(ws, "relax.group", m)
+    tmp = _scratch(ws, "relax.tmp", m)
+    acc.fill(0.0)
     for cls, offs in enumerate(offsets_by_class()):
         if c[cls] == 0.0:
             continue
-        group = np.zeros_like(acc)
+        group.fill(0.0)
         for o in offs:
-            group += _shift(u, *o)
-        acc += c[cls] * group
+            np.add(group, _shift(u, *o), out=group)
+        np.multiply(group, c[cls], out=tmp)
+        np.add(acc, tmp, out=acc)
     out[1:-1, 1:-1, 1:-1] = acc
     return out
 
 
-def relax_buffered(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarray:
+def relax_buffered(u: np.ndarray, c, out: np.ndarray | None = None, *,
+                   ws=None) -> np.ndarray:
     """Apply the stencil with the Fortran-77 shared-buffer optimization.
 
     Precomputes the two plane sums NPB calls ``u1``/``u2`` over the full
@@ -167,23 +249,46 @@ def relax_buffered(u: np.ndarray, c, out: np.ndarray | None = None) -> np.ndarra
     that brings the per-point additions down to 12–20 (paper §5).
     """
     c = tuple(float(x) for x in c)
-    if out is None:
-        out = np.zeros_like(u)
+    out = _prepare_out("relax_buffered", u, out, ws)
     C = slice(1, -1)  # interior along an axis
     M = slice(0, -2)  # shifted -1
     P = slice(2, None)  # shifted +1
 
-    # Full-x-extent plane sums at interior (i3, i2).
-    t1 = u[M, C, :] + u[P, C, :] + u[C, M, :] + u[C, P, :]
-    t2 = u[M, M, :] + u[M, P, :] + u[P, M, :] + u[P, P, :]
+    n3, n2, n1 = u.shape
+    m = (n3 - 2, n2 - 2, n1 - 2)
+    t_shape = (n3 - 2, n2 - 2, n1)
+    acc = _scratch(ws, "relax.acc", m)
+    tmp = _scratch(ws, "relax.tmp", m)
 
-    acc = c[0] * u[C, C, C] if c[0] != 0.0 else np.zeros_like(u[C, C, C])
+    # Full-x-extent plane sums at interior (i3, i2), built left to right
+    # exactly as the original a + b + c + d expression associates.
+    t1 = _scratch(ws, "relax.t1", t_shape)
+    t2 = _scratch(ws, "relax.t2", t_shape)
+    np.add(u[M, C, :], u[P, C, :], out=t1)
+    np.add(t1, u[C, M, :], out=t1)
+    np.add(t1, u[C, P, :], out=t1)
+    np.add(u[M, M, :], u[M, P, :], out=t2)
+    np.add(t2, u[P, M, :], out=t2)
+    np.add(t2, u[P, P, :], out=t2)
+
+    if c[0] != 0.0:
+        np.multiply(u[C, C, C], c[0], out=acc)
+    else:
+        acc.fill(0.0)
     if c[1] != 0.0:
-        acc = acc + c[1] * (u[C, C, M] + u[C, C, P] + t1[:, :, C])
+        np.add(u[C, C, M], u[C, C, P], out=tmp)
+        np.add(tmp, t1[:, :, C], out=tmp)
+        np.multiply(tmp, c[1], out=tmp)
+        np.add(acc, tmp, out=acc)
     if c[2] != 0.0:
-        acc = acc + c[2] * (t2[:, :, C] + t1[:, :, M] + t1[:, :, P])
+        np.add(t2[:, :, C], t1[:, :, M], out=tmp)
+        np.add(tmp, t1[:, :, P], out=tmp)
+        np.multiply(tmp, c[2], out=tmp)
+        np.add(acc, tmp, out=acc)
     if c[3] != 0.0:
-        acc = acc + c[3] * (t2[:, :, M] + t2[:, :, P])
+        np.add(t2[:, :, M], t2[:, :, P], out=tmp)
+        np.multiply(tmp, c[3], out=tmp)
+        np.add(acc, tmp, out=acc)
     out[1:-1, 1:-1, 1:-1] = acc
     return out
 

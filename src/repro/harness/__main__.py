@@ -8,6 +8,7 @@
     python -m repro.harness memmgmt        # §5 memory-overhead analysis
     python -m repro.harness verify -c S    # NPB verification run
     python -m repro.harness supervised     # self-healing supervised solve
+    python -m repro.harness bench -c S     # perf trajectory point (BENCH_*.json)
     python -m repro.harness all
 """
 
@@ -55,7 +56,7 @@ def main(argv: list[str] | None = None) -> int:
         "Benchmark MG in SAC' (IPPS 2002).",
     )
     known = sorted(_SIMPLE) + ["measure", "ablation", "verify",
-                               "npb", "timers", "supervised", "all"]
+                               "npb", "timers", "supervised", "bench", "all"]
     parser.add_argument(
         "commands",
         nargs="*",
@@ -79,6 +80,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json", metavar="FILE", default=None,
         help="additionally dump the raw result data as JSON",
+    )
+    parser.add_argument(
+        "--modes", default="serial,threaded",
+        help="comma-separated bench modes: serial, threaded, distributed "
+        "(default: serial,threaded)",
+    )
+    parser.add_argument(
+        "--bench-out", metavar="FILE", default=None,
+        help="path for the bench command's BENCH_<n>.json "
+        "(default: BENCH_<current>.json in the working directory)",
     )
     args = parser.parse_args(argv)
     bad = [c for c in args.commands if c not in known]
@@ -134,6 +145,35 @@ def main(argv: list[str] | None = None) -> int:
             print(format_npb_report(rep))
         elif cmd == "verify":
             status |= _run_verify(args.size_class)
+        elif cmd == "bench":
+            from repro.perf import bench_document, run_bench, write_bench
+
+            modes = tuple(m.strip() for m in args.modes.split(",")
+                          if m.strip())
+            reports = run_bench(args.size_class, modes=modes,
+                                repeats=args.repeats)
+            doc = bench_document(reports)
+            path = write_bench(doc, args.bench_out)
+            collected[cmd] = doc
+            print(f"perf trajectory point, class {doc['class']} "
+                  f"(rev {doc['git_rev']}"
+                  f"{', dirty' if doc['dirty'] else ''}):")
+            hdr = (f"  {'mode':<12} {'seconds':>9} {'mop/s':>9} "
+                   f"{'pool allocs':>12} {'steady':>7}  verified")
+            print(hdr)
+            for rep_ in reports:
+                print(f"  {rep_.mode:<12} {rep_.seconds:>9.4f} "
+                      f"{rep_.mop_s:>9.1f} "
+                      f"{rep_.pool['allocations']:>12d} "
+                      f"{rep_.pool['steady_state_allocations']:>7d}  "
+                      f"{'yes' if rep_.verified else 'NO'}")
+            bad_pool = [rep_.mode for rep_ in reports
+                        if rep_.pool["steady_state_allocations"] != 0]
+            if bad_pool:
+                print("  WARNING: steady-state pool misses in "
+                      + ", ".join(bad_pool))
+                status |= 1
+            print(f"  written to {path}")
         elif cmd == "supervised":
             from repro.runtime import SupervisedSolver, SupervisionFailed
 

@@ -1,0 +1,41 @@
+"""Performance layer: workspace pooling + benchmark observability.
+
+Two halves, mirroring the paper's §5 analysis of SAC's memory-management
+gap: :mod:`~repro.perf.workspace` removes the per-operation allocations
+from the hot path (the NPB static-workspace layout), and
+:mod:`~repro.perf.instrument` records what the solvers actually do
+(per-operator seconds, pool accounting, Mop/s) into versioned
+``BENCH_<n>.json`` trajectory points.  :mod:`~repro.perf.bench` runs the
+benchmark itself (``python -m repro.harness bench``).
+"""
+
+from .bench import run_bench
+from .instrument import (
+    BENCH_SCHEMA,
+    CURRENT_BENCH_ID,
+    PerfMonitor,
+    PerfReport,
+    bench_document,
+    bench_path,
+    git_rev,
+    mop_per_second,
+    validate_bench_document,
+    write_bench,
+)
+from .workspace import Workspace, WorkspaceCounters
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CURRENT_BENCH_ID",
+    "PerfMonitor",
+    "PerfReport",
+    "Workspace",
+    "WorkspaceCounters",
+    "bench_document",
+    "bench_path",
+    "git_rev",
+    "mop_per_second",
+    "run_bench",
+    "validate_bench_document",
+    "write_bench",
+]

@@ -1,0 +1,151 @@
+"""Per-level scratch-buffer pool for the allocation-free hot path.
+
+The paper's §5 attributes SAC's residual performance gap to memory
+management whose per-operation cost is *invariant against grid sizes*:
+every WITH-loop result is a fresh reference-counted array, so the small
+grids at the bottom of the V-cycle pay proportionally more.  The NPB
+reference codes avoid the issue entirely with a static workspace layout
+— every temporary lives in a preallocated buffer reused across
+iterations.
+
+:class:`Workspace` gives the NumPy solvers that static layout: a keyed
+pool of scratch arrays, one buffer per ``(name, tag, shape, dtype)``
+key, handed out by :meth:`get`/:meth:`zeros` and reused on every
+subsequent request.  Shapes differ per V-cycle level, so keying by shape
+yields exactly one set of extended-grid scratch arrays per level; chunk
+kernels add a ``tag`` (their plane range) so concurrent worker threads
+never share a buffer.
+
+Accounting rides on the existing
+:class:`~repro.runtime.memory.RefCountingManager` model — the real
+NumPy path is booked through the same allocator model the ABL-MEM
+experiment uses for the SAC style — so pool misses, live/peak points
+and byte totals come out of one mechanism.  The steady-state claim the
+benchmarks assert is: after the first V-cycle iteration warms the pool,
+:attr:`allocations` stops growing and :meth:`buffers_by_shape` is
+constant — the timed section performs zero heap allocations of
+extended-grid temporaries.
+
+Buffer contents are *undefined* on reuse: :meth:`get` callers must
+fully overwrite the buffer (the in-place kernels do — every first ufunc
+into a scratch buffer is a full write), :meth:`zeros` clears it first.
+Arrays returned by a pooled solve (e.g. ``MGResult.r``) may reference
+pool buffers; reusing the workspace for another solve overwrites them.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.runtime.memory import RefCountingManager
+
+__all__ = ["Workspace", "WorkspaceCounters"]
+
+
+@dataclass(frozen=True)
+class WorkspaceCounters:
+    """Point-in-time snapshot of a workspace's accounting."""
+
+    #: Pool misses — real heap allocations performed so far.
+    allocations: int
+    #: Pool hits — requests served by reusing an existing buffer.
+    hits: int
+    #: Total bytes ever allocated (the pool never frees until clear()).
+    bytes_allocated: int
+    #: Buffers currently live in the pool.
+    live_buffers: int
+
+
+class Workspace:
+    """Thread-safe keyed pool of reusable NumPy scratch arrays."""
+
+    def __init__(self, label: str = "workspace"):
+        self.label = label
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._handles: dict[tuple, int] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._bytes = 0
+        #: RefCountingManager-style accounting of the real NumPy path:
+        #: each pool miss books one allocation of the buffer's points.
+        self.manager = RefCountingManager()
+
+    # -- pool interface -----------------------------------------------------
+
+    def get(self, name: str, shape: tuple[int, ...], dtype=np.float64,
+            tag: tuple = ()) -> np.ndarray:
+        """Return the buffer for ``(name, tag, shape, dtype)``.
+
+        Allocates on first request, reuses afterwards.  Contents are
+        undefined on reuse — the caller must fully overwrite them.
+        """
+        key = (name, tag, tuple(shape), np.dtype(dtype).str)
+        with self._lock:
+            buf = self._buffers.get(key)
+            if buf is not None:
+                self._hits += 1
+                return buf
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+            self._handles[key] = self.manager.allocate(max(1, buf.size))
+            self._bytes += buf.nbytes
+            return buf
+
+    def zeros(self, name: str, shape: tuple[int, ...], dtype=np.float64,
+              tag: tuple = ()) -> np.ndarray:
+        """Like :meth:`get`, but the buffer is zero-filled before return."""
+        buf = self.get(name, shape, dtype, tag)
+        buf.fill(0.0)
+        return buf
+
+    def clear(self) -> None:
+        """Drop every pooled buffer (and free its accounting handle)."""
+        with self._lock:
+            for handle in self._handles.values():
+                self.manager.decref(handle)
+            self._buffers.clear()
+            self._handles.clear()
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def allocations(self) -> int:
+        """Pool misses so far — real heap allocations performed."""
+        return self.manager.total_allocs
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._bytes
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._buffers)
+
+    def buffers_by_shape(self) -> dict[tuple[int, ...], int]:
+        """Live buffer count per array shape (per V-cycle level, since
+        levels have distinct extended shapes)."""
+        out: dict[tuple[int, ...], int] = {}
+        with self._lock:
+            for name, tag, shape, dtype in self._buffers:
+                out[shape] = out.get(shape, 0) + 1
+        return out
+
+    def counters(self) -> WorkspaceCounters:
+        return WorkspaceCounters(
+            allocations=self.allocations,
+            hits=self.hits,
+            bytes_allocated=self.bytes_allocated,
+            live_buffers=self.live_buffers,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Workspace({self.label!r}, buffers={self.live_buffers}, "
+                f"allocs={self.allocations}, hits={self.hits}, "
+                f"bytes={self.bytes_allocated})")

@@ -14,6 +14,8 @@ any team size (tested) — determinism the paper's runtime also provides.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.classes import SizeClass, get_class
@@ -49,41 +51,89 @@ def _zrange(z0: int, z1: int, off: int = 0) -> slice:
     return slice(z0 + 1 + off, z1 + 1 + off)
 
 
+def _scratch(ws, name: str, shape: tuple[int, ...], tag: tuple) -> np.ndarray:
+    """Uninitialized scratch, pooled per ``(name, tag, shape)`` when a
+    workspace is given.  The tag is the chunk's plane range, so worker
+    threads running disjoint chunks never share a buffer."""
+    if ws is None:
+        return np.empty(shape)
+    return ws.get(name, shape, tag=tag)
+
+
 # ---------------------------------------------------------------------------
 # Chunk kernels (a range of result planes each).
 # ---------------------------------------------------------------------------
 
 def resid_chunk(u: np.ndarray, v: np.ndarray, a, r: np.ndarray,
-                z0: int, z1: int) -> None:
+                z0: int, z1: int, ws=None) -> None:
     """``r = v - A u`` on interior planes ``[z0, z1)``."""
     a = tuple(float(x) for x in a)
     zc, zm, zp = _zrange(z0, z1), _zrange(z0, z1, -1), _zrange(z0, z1, +1)
-    u1 = u[zc, _M, :] + u[zc, _P, :] + u[zm, _C, :] + u[zp, _C, :]
-    u2 = u[zm, _M, :] + u[zm, _P, :] + u[zp, _M, :] + u[zp, _P, :]
-    acc = v[zc, _C, _C] - a[0] * u[zc, _C, _C]
+    tag = (z0, z1)
+    nz, n2, n1 = z1 - z0, u.shape[1], u.shape[2]
+    u1 = _scratch(ws, "chunk.u1", (nz, n2 - 2, n1), tag)
+    u2 = _scratch(ws, "chunk.u2", (nz, n2 - 2, n1), tag)
+    np.add(u[zc, _M, :], u[zc, _P, :], out=u1)
+    np.add(u1, u[zm, _C, :], out=u1)
+    np.add(u1, u[zp, _C, :], out=u1)
+    np.add(u[zm, _M, :], u[zm, _P, :], out=u2)
+    np.add(u2, u[zp, _M, :], out=u2)
+    np.add(u2, u[zp, _P, :], out=u2)
+    acc = _scratch(ws, "chunk.acc", (nz, n2 - 2, n1 - 2), tag)
+    tmp = _scratch(ws, "chunk.tmp", (nz, n2 - 2, n1 - 2), tag)
+    np.multiply(u[zc, _C, _C], a[0], out=tmp)
+    np.subtract(v[zc, _C, _C], tmp, out=acc)
     if a[1] != 0.0:
-        acc = acc - a[1] * ((u[zc, _C, _M] + u[zc, _C, _P]) + u1[:, :, _C])
-    acc = acc - a[2] * ((u2[:, :, _C] + u1[:, :, _M]) + u1[:, :, _P])
-    acc = acc - a[3] * (u2[:, :, _M] + u2[:, :, _P])
+        np.add(u[zc, _C, _M], u[zc, _C, _P], out=tmp)
+        np.add(tmp, u1[:, :, _C], out=tmp)
+        np.multiply(tmp, a[1], out=tmp)
+        np.subtract(acc, tmp, out=acc)
+    np.add(u2[:, :, _C], u1[:, :, _M], out=tmp)
+    np.add(tmp, u1[:, :, _P], out=tmp)
+    np.multiply(tmp, a[2], out=tmp)
+    np.subtract(acc, tmp, out=acc)
+    np.add(u2[:, :, _M], u2[:, :, _P], out=tmp)
+    np.multiply(tmp, a[3], out=tmp)
+    np.subtract(acc, tmp, out=acc)
     r[zc, _C, _C] = acc
 
 
 def psinv_chunk(r: np.ndarray, u: np.ndarray, c,
-                z0: int, z1: int) -> None:
+                z0: int, z1: int, ws=None) -> None:
     """``u += S r`` on interior planes ``[z0, z1)``."""
     c = tuple(float(x) for x in c)
     zc, zm, zp = _zrange(z0, z1), _zrange(z0, z1, -1), _zrange(z0, z1, +1)
-    r1 = r[zc, _M, :] + r[zc, _P, :] + r[zm, _C, :] + r[zp, _C, :]
-    r2 = r[zm, _M, :] + r[zm, _P, :] + r[zp, _M, :] + r[zp, _P, :]
-    acc = u[zc, _C, _C] + c[0] * r[zc, _C, _C]
-    acc = acc + c[1] * ((r[zc, _C, _M] + r[zc, _C, _P]) + r1[:, :, _C])
-    acc = acc + c[2] * ((r2[:, :, _C] + r1[:, :, _M]) + r1[:, :, _P])
+    tag = (z0, z1)
+    nz, n2, n1 = z1 - z0, r.shape[1], r.shape[2]
+    r1 = _scratch(ws, "chunk.u1", (nz, n2 - 2, n1), tag)
+    r2 = _scratch(ws, "chunk.u2", (nz, n2 - 2, n1), tag)
+    np.add(r[zc, _M, :], r[zc, _P, :], out=r1)
+    np.add(r1, r[zm, _C, :], out=r1)
+    np.add(r1, r[zp, _C, :], out=r1)
+    np.add(r[zm, _M, :], r[zm, _P, :], out=r2)
+    np.add(r2, r[zp, _M, :], out=r2)
+    np.add(r2, r[zp, _P, :], out=r2)
+    acc = _scratch(ws, "chunk.acc", (nz, n2 - 2, n1 - 2), tag)
+    tmp = _scratch(ws, "chunk.tmp", (nz, n2 - 2, n1 - 2), tag)
+    np.multiply(r[zc, _C, _C], c[0], out=tmp)
+    np.add(u[zc, _C, _C], tmp, out=acc)
+    np.add(r[zc, _C, _M], r[zc, _C, _P], out=tmp)
+    np.add(tmp, r1[:, :, _C], out=tmp)
+    np.multiply(tmp, c[1], out=tmp)
+    np.add(acc, tmp, out=acc)
+    np.add(r2[:, :, _C], r1[:, :, _M], out=tmp)
+    np.add(tmp, r1[:, :, _P], out=tmp)
+    np.multiply(tmp, c[2], out=tmp)
+    np.add(acc, tmp, out=acc)
     if c[3] != 0.0:
-        acc = acc + c[3] * (r2[:, :, _M] + r2[:, :, _P])
+        np.add(r2[:, :, _M], r2[:, :, _P], out=tmp)
+        np.multiply(tmp, c[3], out=tmp)
+        np.add(acc, tmp, out=acc)
     u[zc, _C, _C] = acc
 
 
-def rprj3_chunk(r: np.ndarray, s: np.ndarray, j0: int, j1: int) -> None:
+def rprj3_chunk(r: np.ndarray, s: np.ndarray, j0: int, j1: int,
+                ws=None) -> None:
     """Project fine ``r`` onto coarse planes ``[j0, j1)`` of ``s``.
 
     ``r`` may be a z-slab: the x/y slicing is derived from the (cubic)
@@ -97,18 +147,43 @@ def rprj3_chunk(r: np.ndarray, s: np.ndarray, j0: int, j1: int) -> None:
     zc = slice(2 * (j0 + 1), 2 * j1 + 1, 2)
     zm = slice(2 * (j0 + 1) - 1, 2 * j1, 2)
     zp = slice(2 * (j0 + 1) + 1, 2 * j1 + 2, 2)
-    x1 = r[zc, m1, ox] + r[zc, p1, ox] + r[zm, c1, ox] + r[zp, c1, ox]
-    y1 = r[zm, m1, ox] + r[zp, m1, ox] + r[zm, p1, ox] + r[zp, p1, ox]
-    x2 = r[zc, m1, c1] + r[zc, p1, c1] + r[zm, c1, c1] + r[zp, c1, c1]
-    y2 = r[zm, m1, c1] + r[zp, m1, c1] + r[zm, p1, c1] + r[zp, p1, c1]
-    acc = 0.5 * r[zc, c1, c1]
-    acc = acc + 0.25 * ((r[zc, c1, m1] + r[zc, c1, p1]) + x2)
-    acc = acc + 0.125 * ((x1[:, :, :-1] + x1[:, :, 1:]) + y2)
-    acc = acc + 0.0625 * (y1[:, :, :-1] + y1[:, :, 1:])
+    tag = (j0, j1)
+    nj, mh = j1 - j0, (n - 2) // 2
+    x1 = _scratch(ws, "chunk.x1", (nj, mh, mh + 1), tag)
+    y1 = _scratch(ws, "chunk.y1", (nj, mh, mh + 1), tag)
+    np.add(r[zc, m1, ox], r[zc, p1, ox], out=x1)
+    np.add(x1, r[zm, c1, ox], out=x1)
+    np.add(x1, r[zp, c1, ox], out=x1)
+    np.add(r[zm, m1, ox], r[zp, m1, ox], out=y1)
+    np.add(y1, r[zm, p1, ox], out=y1)
+    np.add(y1, r[zp, p1, ox], out=y1)
+    x2 = _scratch(ws, "chunk.x2", (nj, mh, mh), tag)
+    y2 = _scratch(ws, "chunk.y2", (nj, mh, mh), tag)
+    np.add(r[zc, m1, c1], r[zc, p1, c1], out=x2)
+    np.add(x2, r[zm, c1, c1], out=x2)
+    np.add(x2, r[zp, c1, c1], out=x2)
+    np.add(r[zm, m1, c1], r[zp, m1, c1], out=y2)
+    np.add(y2, r[zm, p1, c1], out=y2)
+    np.add(y2, r[zp, p1, c1], out=y2)
+    acc = _scratch(ws, "chunk.racc", (nj, mh, mh), tag)
+    tmp = _scratch(ws, "chunk.rtmp", (nj, mh, mh), tag)
+    np.multiply(r[zc, c1, c1], 0.5, out=acc)
+    np.add(r[zc, c1, m1], r[zc, c1, p1], out=tmp)
+    np.add(tmp, x2, out=tmp)
+    np.multiply(tmp, 0.25, out=tmp)
+    np.add(acc, tmp, out=acc)
+    np.add(x1[:, :, :-1], x1[:, :, 1:], out=tmp)
+    np.add(tmp, y2, out=tmp)
+    np.multiply(tmp, 0.125, out=tmp)
+    np.add(acc, tmp, out=acc)
+    np.add(y1[:, :, :-1], y1[:, :, 1:], out=tmp)
+    np.multiply(tmp, 0.0625, out=tmp)
+    np.add(acc, tmp, out=acc)
     s[_zrange(j0, j1), 1:-1, 1:-1] = acc
 
 
-def interp_chunk(z: np.ndarray, u: np.ndarray, j0: int, j1: int) -> None:
+def interp_chunk(z: np.ndarray, u: np.ndarray, j0: int, j1: int,
+                 ws=None) -> None:
     """Prolongate coarse plane rows ``[j0, j1)`` (0..m inclusive range)
     into fine ``u``.  Each coarse row ``j`` owns fine planes ``2j`` and
     ``2j+1``, so slabs of distinct ``j`` never overlap.  ``z``/``u`` may
@@ -118,20 +193,38 @@ def interp_chunk(z: np.ndarray, u: np.ndarray, j0: int, j1: int) -> None:
     H = slice(1, None)
     E = slice(0, n - 1, 2)
     O = slice(1, n, 2)
+    tag = (j0, j1)
+    nc = z.shape[1]
+    z1 = _scratch(ws, "chunk.z1", (nc - 1, nc), tag)
+    z2 = _scratch(ws, "chunk.z2", (nc - 1, nc), tag)
+    z3 = _scratch(ws, "chunk.z3", (nc - 1, nc), tag)
+    tmp = _scratch(ws, "chunk.itmp", (nc - 1, nc - 1), tag)
     for j3 in range(j0, j1):
         zc, zn = z[j3], z[j3 + 1]
-        z1 = zc[H, :] + zc[L, :]
-        z2 = zn[L, :] + zc[L, :]
-        z3 = (zn[H, :] + zn[L, :]) + z1
+        np.add(zc[H, :], zc[L, :], out=z1)
+        np.add(zn[L, :], zc[L, :], out=z2)
+        np.add(zn[H, :], zn[L, :], out=z3)
+        np.add(z3, z1, out=z3)
         e3, o3 = 2 * j3, 2 * j3 + 1
         u[e3, E, E] += zc[L, L]
-        u[e3, E, O] += 0.5 * (zc[L, H] + zc[L, L])
-        u[e3, O, E] += 0.5 * z1[:, :-1]
-        u[e3, O, O] += 0.25 * (z1[:, :-1] + z1[:, 1:])
-        u[o3, E, E] += 0.5 * z2[:, :-1]
-        u[o3, E, O] += 0.25 * (z2[:, :-1] + z2[:, 1:])
-        u[o3, O, E] += 0.25 * z3[:, :-1]
-        u[o3, O, O] += 0.125 * (z3[:, :-1] + z3[:, 1:])
+        np.add(zc[L, H], zc[L, L], out=tmp)
+        np.multiply(tmp, 0.5, out=tmp)
+        u[e3, E, O] += tmp
+        np.multiply(z1[:, :-1], 0.5, out=tmp)
+        u[e3, O, E] += tmp
+        np.add(z1[:, :-1], z1[:, 1:], out=tmp)
+        np.multiply(tmp, 0.25, out=tmp)
+        u[e3, O, O] += tmp
+        np.multiply(z2[:, :-1], 0.5, out=tmp)
+        u[o3, E, E] += tmp
+        np.add(z2[:, :-1], z2[:, 1:], out=tmp)
+        np.multiply(tmp, 0.25, out=tmp)
+        u[o3, E, O] += tmp
+        np.multiply(z3[:, :-1], 0.25, out=tmp)
+        u[o3, O, E] += tmp
+        np.add(z3[:, :-1], z3[:, 1:], out=tmp)
+        np.multiply(tmp, 0.125, out=tmp)
+        u[o3, O, O] += tmp
 
 
 # ---------------------------------------------------------------------------
@@ -143,55 +236,74 @@ def _plane_chunks(nplanes: int, team: ThreadTeam) -> list[Chunk]:
 
 
 def parallel_resid(u: np.ndarray, v: np.ndarray, a, team: ThreadTeam,
-                   lib=None) -> np.ndarray:
+                   lib=None, ws=None, monitor=None) -> np.ndarray:
     """``r = v - A u``; with ``lib`` (a
     :class:`~repro.runtime.kernels.SacKernelLibrary`) the per-slab
     stencil is the compiled SAC ``RelaxKernel`` instead of the NumPy
-    chunk kernel — one shared specialization per slab shape."""
-    r = np.zeros_like(u)
+    chunk kernel — one shared specialization per slab shape.
+
+    The pooled output buffer (``ws`` given) is fully overwritten —
+    interior by the chunks, which tile all planes, ghosts by ``comm3``.
+    """
+    t0 = time.perf_counter() if monitor is not None else 0.0
+    r = np.zeros_like(u) if ws is None else ws.get("presid.r", u.shape)
     m = u.shape[0] - 2
     if lib is not None:
         team.run(lambda c: lib.resid_slab(u, v, a, r, c.lo[0], c.hi[0]),
                  _plane_chunks(m, team))
     else:
-        team.run(lambda c: resid_chunk(u, v, a, r, c.lo[0], c.hi[0]),
+        team.run(lambda c: resid_chunk(u, v, a, r, c.lo[0], c.hi[0], ws=ws),
                  _plane_chunks(m, team))
     comm3(r)
+    if monitor is not None:
+        monitor.add("resid", time.perf_counter() - t0)
     return r
 
 
 def parallel_psinv(r: np.ndarray, u: np.ndarray, c, team: ThreadTeam,
-                   lib=None) -> np.ndarray:
+                   lib=None, ws=None, monitor=None) -> np.ndarray:
+    t0 = time.perf_counter() if monitor is not None else 0.0
     m = u.shape[0] - 2
     if lib is not None:
         team.run(lambda ch: lib.psinv_slab(r, u, c, ch.lo[0], ch.hi[0]),
                  _plane_chunks(m, team))
     else:
-        team.run(lambda ch: psinv_chunk(r, u, c, ch.lo[0], ch.hi[0]),
+        team.run(lambda ch: psinv_chunk(r, u, c, ch.lo[0], ch.hi[0], ws=ws),
                  _plane_chunks(m, team))
     comm3(u)
+    if monitor is not None:
+        monitor.add("psinv", time.perf_counter() - t0)
     return u
 
 
-def parallel_rprj3(r: np.ndarray, team: ThreadTeam) -> np.ndarray:
+def parallel_rprj3(r: np.ndarray, team: ThreadTeam, ws=None,
+                   monitor=None) -> np.ndarray:
+    t0 = time.perf_counter() if monitor is not None else 0.0
     nf = r.shape[0] - 2
     if nf < 4 or nf % 2:
         raise ValueError(f"cannot project a grid with interior {nf}")
-    s = make_grid(nf // 2)
     mj = nf // 2
-    team.run(lambda c: rprj3_chunk(r, s, c.lo[0], c.hi[0]),
+    # Fully overwritten: interior by the chunks, ghosts by comm3.
+    s = make_grid(mj) if ws is None else ws.get("prprj3.s", (mj + 2,) * 3)
+    team.run(lambda c: rprj3_chunk(r, s, c.lo[0], c.hi[0], ws=ws),
              _plane_chunks(mj, team))
     comm3(s)
+    if monitor is not None:
+        monitor.add("rprj3", time.perf_counter() - t0)
     return s
 
 
-def parallel_interp_add(z: np.ndarray, u: np.ndarray, team: ThreadTeam) -> np.ndarray:
+def parallel_interp_add(z: np.ndarray, u: np.ndarray, team: ThreadTeam,
+                        ws=None, monitor=None) -> np.ndarray:
+    t0 = time.perf_counter() if monitor is not None else 0.0
     m = z.shape[0] - 2
     nf = u.shape[0] - 2
     if nf != 2 * m:
         raise ValueError(f"interp shape mismatch: coarse {m} fine {nf}")
-    team.run(lambda c: interp_chunk(z, u, c.lo[0], c.hi[0]),
+    team.run(lambda c: interp_chunk(z, u, c.lo[0], c.hi[0], ws=ws),
              _plane_chunks(m + 1, team))
+    if monitor is not None:
+        monitor.add("interp", time.perf_counter() - t0)
     return u
 
 
@@ -207,7 +319,7 @@ class ParallelMG:
     """
 
     def __init__(self, nthreads: int, *, kernels: str = "numpy",
-                 kernel_library=None):
+                 kernel_library=None, workspace=False, monitor=None):
         if kernels not in ("numpy", "sac"):
             raise ValueError(f"kernels must be 'numpy' or 'sac', "
                              f"got {kernels!r}")
@@ -220,6 +332,17 @@ class ParallelMG:
             from .kernels import SacKernelLibrary
 
             self.kernel_library = SacKernelLibrary()
+        #: Persistent scratch pool, shared across solves so repeated
+        #: runs stay allocation-free.  ``workspace=True`` creates one;
+        #: a Workspace instance is used as-is.
+        if workspace is True:
+            from repro.perf.workspace import Workspace
+
+            self.workspace = Workspace("parallel-mg")
+        else:
+            self.workspace = workspace or None
+        #: Master-side per-operator timer (any ``add(section, dt)``).
+        self.monitor = monitor
 
     def solve(self, size_class: str | SizeClass,
               nit: int | None = None, *,
@@ -230,26 +353,33 @@ class ParallelMG:
         c = S_COEFFS_A if sc.smoother == "a" else S_COEFFS_B
         lt, lb = sc.lt, 1
         lib = self.kernel_library
+        ws, mon = self.workspace, self.monitor
         with ThreadTeam(self.nthreads) as team:
             u = make_grid(sc.nx)
             v = zran3(sc.nx)
-            r = {lt: parallel_resid(u, v, a, team, lib)}
+            r = {lt: parallel_resid(u, v, a, team, lib, ws, mon)}
             for it in range(iters):
                 for k in range(lt, lb, -1):
-                    r[k - 1] = parallel_rprj3(r[k], team)
-                uk = make_grid(1 << lb)
-                parallel_psinv(r[lb], uk, c, team, lib)
+                    r[k - 1] = parallel_rprj3(r[k], team, ws, mon)
+                if ws is None:
+                    uk = make_grid(1 << lb)
+                else:
+                    uk = ws.zeros("pmg.u", ((1 << lb) + 2,) * 3)
+                parallel_psinv(r[lb], uk, c, team, lib, ws, mon)
                 u_levels = {lb: uk}
                 for k in range(lb + 1, lt):
-                    uk = make_grid(1 << k)
-                    parallel_interp_add(u_levels[k - 1], uk, team)
-                    r[k] = parallel_resid(uk, r[k], a, team, lib)
-                    parallel_psinv(r[k], uk, c, team, lib)
+                    if ws is None:
+                        uk = make_grid(1 << k)
+                    else:
+                        uk = ws.zeros("pmg.u", ((1 << k) + 2,) * 3)
+                    parallel_interp_add(u_levels[k - 1], uk, team, ws, mon)
+                    r[k] = parallel_resid(uk, r[k], a, team, lib, ws, mon)
+                    parallel_psinv(r[k], uk, c, team, lib, ws, mon)
                     u_levels[k] = uk
-                parallel_interp_add(u_levels[lt - 1], u, team)
-                r[lt] = parallel_resid(u, v, a, team, lib)
-                parallel_psinv(r[lt], u, c, team, lib)
-                r[lt] = parallel_resid(u, v, a, team, lib)
+                parallel_interp_add(u_levels[lt - 1], u, team, ws, mon)
+                r[lt] = parallel_resid(u, v, a, team, lib, ws, mon)
+                parallel_psinv(r[lt], u, c, team, lib, ws, mon)
+                r[lt] = parallel_resid(u, v, a, team, lib, ws, mon)
                 if on_iteration is not None:
                     # Residual-trajectory hook (the supervisor's
                     # numerical watchdog); raising aborts the solve here.

@@ -412,14 +412,23 @@ def _local_comm3(slab: np.ndarray, comm: RankComm, op: str = "comm3") -> None:
     slab[-1] = upper
 
 
-def _slab_from_full(full: np.ndarray, z0: int, nzl: int) -> np.ndarray:
+def _slab_from_full(full: np.ndarray, z0: int, nzl: int,
+                    ws=None, name: str = "slab") -> np.ndarray:
     """Cut this rank's slab (with halo planes) out of a full grid."""
-    return full[z0 : z0 + nzl + 2].copy()
+    if ws is None:
+        return full[z0 : z0 + nzl + 2].copy()
+    slab = ws.get(name, (nzl + 2,) + full.shape[1:])
+    np.copyto(slab, full[z0 : z0 + nzl + 2])
+    return slab
 
 
-def _assemble_full(parts: list[np.ndarray], n: int) -> np.ndarray:
-    """Rebuild a full extended grid from rank-ordered interior slabs."""
-    full = make_grid(n)
+def _assemble_full(parts: list[np.ndarray], n: int, ws=None) -> np.ndarray:
+    """Rebuild a full extended grid from rank-ordered interior slabs.
+
+    The pooled buffer (``ws`` given) is fully overwritten: every
+    interior plane comes from one of the slabs, ghosts from ``comm3``.
+    """
+    full = make_grid(n) if ws is None else ws.get("assemble", (n + 2,) * 3)
     z = 1
     for part in parts:
         full[z : z + part.shape[0]] = part
@@ -449,7 +458,8 @@ class DistributedMG:
                  poll_interval: float | None = None,
                  fault_plan: FaultPlan | None = None,
                  halo_checksums: bool = False, halo_retries: int = 2,
-                 kernels: str = "numpy", kernel_library=None):
+                 kernels: str = "numpy", kernel_library=None,
+                 workspace: bool = False, monitor=None):
         if nranks < 1 or nranks & (nranks - 1):
             raise ValueError("nranks must be a power of two")
         if kernels not in ("numpy", "sac"):
@@ -465,6 +475,20 @@ class DistributedMG:
         self.halo_checksums = halo_checksums
         self.halo_retries = halo_retries
         self.last_world: World | None = None
+        # workspace=True: each rank gets a persistent scratch pool so
+        # repeated solves run the timed section allocation-free.  Pooled
+        # mode adds one extra barrier per V-cycle (after the switch-level
+        # assembly) so no rank overwrites a slab a peer is still reading
+        # through the allgathered views.  Halo-plane messages stay
+        # per-exchange copies: ownership transfers to the receiver.
+        self.workspaces = None
+        if workspace:
+            from repro.perf.workspace import Workspace
+
+            self.workspaces = [Workspace(f"spmd-rank{r}")
+                               for r in range(nranks)]
+        #: Rank 0's per-operator timer (any ``add(section, dt)``).
+        self.monitor = monitor
         # kernels="sac": the residual/smoother sweeps run the compiled
         # SAC RelaxKernel.  The library is shared by every rank thread
         # and backed by the driver's content-addressed cache, so each
@@ -581,6 +605,15 @@ class DistributedMG:
         lt = sc.lt
         rank = comm.rank
         injector = comm.world.injector(rank)
+        ws = self.workspaces[rank] if self.workspaces is not None else None
+        mon = self.monitor if rank == 0 else None
+
+        def _interior_sq_sum(ri: np.ndarray) -> float:
+            if ws is None:
+                return float(np.sum(ri * ri))
+            tmp = ws.get("norm.tmp", ri.shape)
+            np.multiply(ri, ri, out=tmp)
+            return float(np.sum(tmp))
 
         # Replicated, deterministic setup; each rank keeps its slab.
         v_full = zran3(sc.nx)
@@ -605,7 +638,7 @@ class DistributedMG:
             start_it = latest
         else:
             u = np.zeros_like(v)
-            r_levels[lt] = self._resid_dist(u, v, a, comm)
+            r_levels[lt] = self._resid_dist(u, v, a, comm, ws, mon)
 
         for it in range(start_it, iters):
             comm.iteration = it
@@ -616,8 +649,8 @@ class DistributedMG:
                 comm.barrier(op="checkpoint-commit")
                 store.commit(it, self.nranks)
                 comm.world.stats.bump("checkpoints")
-            self._v_cycle(u, v, r_levels, a, c, lt, comm)
-            r_levels[lt] = self._resid_dist(u, v, a, comm)
+            self._v_cycle(u, v, r_levels, a, c, lt, comm, ws, mon)
+            r_levels[lt] = self._resid_dist(u, v, a, comm, ws, mon)
             if on_iteration is not None:
                 # Residual-trajectory hook (the supervisor's numerical
                 # watchdog): every rank contributes to the allreduce so
@@ -625,14 +658,14 @@ class DistributedMG:
                 # callback; an exception it raises aborts the world at
                 # this iteration boundary.
                 ri = r_levels[lt][1:-1, 1:-1, 1:-1]
-                total_sq = comm.allreduce_sum(float(np.sum(ri * ri)))
+                total_sq = comm.allreduce_sum(_interior_sq_sum(ri))
                 if comm.rank == 0:
                     on_iteration(it, float(np.sqrt(total_sq / sc.nx ** 3)))
         comm.iteration = None
 
         # Verification norm: allreduce of the interior partial sums.
         ri = r_levels[lt][1:-1, 1:-1, 1:-1]
-        total_sq = comm.allreduce_sum(float(np.sum(ri * ri)))
+        total_sq = comm.allreduce_sum(_interior_sq_sum(ri))
         local_max = float(np.max(np.abs(ri)))
         global_max = max(comm.allgather(local_max))
         rnm2 = float(np.sqrt(total_sq / sc.nx ** 3))
@@ -646,33 +679,45 @@ class DistributedMG:
 
     # -- distributed kernels ------------------------------------------------------
 
-    def _resid_dist(self, u, v, a, comm) -> np.ndarray:
-        r = np.zeros_like(u)
+    def _resid_dist(self, u, v, a, comm, ws=None, mon=None) -> np.ndarray:
+        t0 = time.perf_counter() if mon is not None else 0.0
+        # Pooled r is fully overwritten: interior planes by the chunk
+        # kernel, borders/halos by _local_comm3.
+        r = np.zeros_like(u) if ws is None else ws.get("dresid.r", u.shape)
         if self.kernel_library is not None:
             self.kernel_library.resid_slab(u, v, a, r, 0, u.shape[0] - 2)
         else:
-            resid_chunk(u, v, a, r, 0, u.shape[0] - 2)
+            resid_chunk(u, v, a, r, 0, u.shape[0] - 2, ws=ws)
         _local_comm3(r, comm, op="resid")
+        if mon is not None:
+            mon.add("resid", time.perf_counter() - t0)
         return r
 
-    def _psinv_dist(self, r, u, c, comm) -> None:
+    def _psinv_dist(self, r, u, c, comm, ws=None, mon=None) -> None:
+        t0 = time.perf_counter() if mon is not None else 0.0
         if self.kernel_library is not None:
             self.kernel_library.psinv_slab(r, u, c, 0, u.shape[0] - 2)
         else:
-            psinv_chunk(r, u, c, 0, u.shape[0] - 2)
+            psinv_chunk(r, u, c, 0, u.shape[0] - 2, ws=ws)
         _local_comm3(u, comm, op="psinv")
+        if mon is not None:
+            mon.add("psinv", time.perf_counter() - t0)
 
-    def _rprj3_dist(self, r_fine, comm) -> np.ndarray:
+    def _rprj3_dist(self, r_fine, comm, ws=None, mon=None) -> np.ndarray:
         """Distributed fine -> distributed coarse (both slab-aligned)."""
+        t0 = time.perf_counter() if mon is not None else 0.0
         nzl_f = r_fine.shape[0] - 2
         nzl_c = nzl_f // 2
         n_f = r_fine.shape[1] - 2
-        s = np.zeros((nzl_c + 2, n_f // 2 + 2, n_f // 2 + 2))
-        rprj3_chunk(r_fine, s, 0, nzl_c)
+        shape = (nzl_c + 2, n_f // 2 + 2, n_f // 2 + 2)
+        s = np.zeros(shape) if ws is None else ws.get("drprj3.s", shape)
+        rprj3_chunk(r_fine, s, 0, nzl_c, ws=ws)
         _local_comm3(s, comm, op="rprj3")
+        if mon is not None:
+            mon.add("rprj3", time.perf_counter() - t0)
         return s
 
-    def _interp_dist(self, z_coarse, u_fine, comm) -> None:
+    def _interp_dist(self, z_coarse, u_fine, comm, ws=None, mon=None) -> None:
         """Distributed coarse -> distributed fine.
 
         Fine planes 2j and 2j+1 come from coarse rows j and j+1; the
@@ -683,47 +728,69 @@ class DistributedMG:
         1..2*nzl_c, plus the boundary contributions that land in the
         halo planes — which the trailing exchange overwrites correctly.
         """
-        interp_chunk(z_coarse, u_fine, 0, z_coarse.shape[0] - 1)
+        t0 = time.perf_counter() if mon is not None else 0.0
+        interp_chunk(z_coarse, u_fine, 0, z_coarse.shape[0] - 1, ws=ws)
         _local_comm3(u_fine, comm, op="interp")
+        if mon is not None:
+            mon.add("interp", time.perf_counter() - t0)
 
     # -- the V-cycle ----------------------------------------------------------------
 
-    def _v_cycle(self, u, v, r_levels, a, c, lt, comm) -> None:
+    def _v_cycle(self, u, v, r_levels, a, c, lt, comm, ws=None,
+                 mon=None) -> None:
         lb = 1
         switch = None  # coarsest distributed level
         # Down cycle: distributed projections while both levels split.
         k = lt
         while k - 1 >= lb and self._distributed(k) and self._distributed(k - 1):
-            r_levels[k - 1] = self._rprj3_dist(r_levels[k], comm)
+            r_levels[k - 1] = self._rprj3_dist(r_levels[k], comm, ws, mon)
             k -= 1
         switch = k
         # Switch: allgather the residual of level `switch` and continue
         # serially (replicated) below it.
         parts = comm.allgather(r_levels[switch][1:-1])
-        r_full = {switch: _assemble_full(parts, 1 << switch)}
+        r_full = {switch: _assemble_full(parts, 1 << switch, ws)}
+        if ws is not None:
+            # The gathered parts are views of peers' pooled slabs; hold
+            # every rank here until all have copied them out, so nobody
+            # overwrites a buffer a peer is still reading.
+            comm.barrier(op="assemble")
         for j in range(switch, lb, -1):
-            r_full[j - 1] = rprj3(r_full[j])
-        uk = make_grid(1 << lb)
-        psinv(r_full[lb], uk, c)
+            r_full[j - 1] = rprj3(r_full[j], out=r_full.get(j - 1), ws=ws)
+        if ws is None:
+            uk = make_grid(1 << lb)
+        else:
+            uk = ws.zeros("dvc.u", ((1 << lb) + 2,) * 3)
+        psinv(r_full[lb], uk, c, ws=ws)
         u_rep = {lb: uk}
         for j in range(lb + 1, switch + 1):
-            uj = make_grid(1 << j)
-            interp_add(u_rep[j - 1], uj)
-            r_full[j] = resid(uj, r_full[j], a)
-            psinv(r_full[j], uj, c)
+            if ws is None:
+                uj = make_grid(1 << j)
+            else:
+                uj = ws.zeros("dvc.u", ((1 << j) + 2,) * 3)
+            interp_add(u_rep[j - 1], uj, ws=ws)
+            r_full[j] = resid(uj, r_full[j], a,
+                              out=r_full[j] if ws is not None else None,
+                              ws=ws)
+            psinv(r_full[j], uj, c, ws=ws)
             u_rep[j] = uj
         # Re-split the switch-level solution and residual into slabs.
         z0, nzl = self._plane_range(switch, comm.rank)
-        u_slab = _slab_from_full(u_rep[switch], z0, nzl)
-        r_levels[switch] = _slab_from_full(r_full[switch], z0, nzl)
+        u_slab = _slab_from_full(u_rep[switch], z0, nzl, ws, "dvc.uslab")
+        r_levels[switch] = _slab_from_full(r_full[switch], z0, nzl,
+                                           ws, "dvc.rslab")
         # Up cycle: distributed levels above the switch.
         for k in range(switch + 1, lt):
-            u_next = np.zeros_like(r_levels[k])
-            self._interp_dist(u_slab, u_next, comm)
-            r_levels[k] = self._resid_dist(u_next, r_levels[k], a, comm)
-            self._psinv_dist(r_levels[k], u_next, c, comm)
+            if ws is None:
+                u_next = np.zeros_like(r_levels[k])
+            else:
+                u_next = ws.zeros("dvc.unext", r_levels[k].shape)
+            self._interp_dist(u_slab, u_next, comm, ws, mon)
+            r_levels[k] = self._resid_dist(u_next, r_levels[k], a, comm,
+                                           ws, mon)
+            self._psinv_dist(r_levels[k], u_next, c, comm, ws, mon)
             u_slab = u_next
         # Finest level: correct u itself.
-        self._interp_dist(u_slab, u, comm)
-        r_levels[lt] = self._resid_dist(u, v, a, comm)
-        self._psinv_dist(r_levels[lt], u, c, comm)
+        self._interp_dist(u_slab, u, comm, ws, mon)
+        r_levels[lt] = self._resid_dist(u, v, a, comm, ws, mon)
+        self._psinv_dist(r_levels[lt], u, c, comm, ws, mon)

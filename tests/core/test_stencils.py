@@ -13,6 +13,7 @@ from repro.core.stencils import (
     S_COEFFS_A,
     S_COEFFS_B,
     STENCILS,
+    StencilAliasError,
     offset_class,
     offsets_by_class,
     op_counts,
@@ -23,6 +24,8 @@ from repro.core.stencils import (
 )
 
 ALL_COEFFS = [A_COEFFS, S_COEFFS_A, S_COEFFS_B, P_COEFFS, Q_COEFFS]
+ALL_KERNELS = [relax_naive, relax_grouped, relax_buffered]
+KERNEL_IDS = ["naive", "grouped", "buffered"]
 
 
 def _random_periodic(m, seed=0):
@@ -130,6 +133,128 @@ class TestRelaxEquivalence:
         u = _random_periodic(4, seed=5)
         out = relax_naive(u, S_COEFFS_A)
         assert not out[0].any() and not out[-1].any()
+
+
+def _shift_view(u, o3, o2, o1):
+    def ax(o, n):
+        return slice(1 + o, n - 1 + o)
+
+    n3, n2, n1 = u.shape
+    return u[ax(o3, n3), ax(o2, n2), ax(o1, n1)]
+
+
+def _ref_naive(u, c):
+    """The original allocating formulation (``acc += w * shift``)."""
+    w = stencil_weights_27(c)
+    out = np.zeros_like(u)
+    acc = np.zeros(tuple(n - 2 for n in u.shape))
+    for o3 in (-1, 0, 1):
+        for o2 in (-1, 0, 1):
+            for o1 in (-1, 0, 1):
+                acc += w[o3 + 1, o2 + 1, o1 + 1] * _shift_view(u, o3, o2, o1)
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+def _ref_grouped(u, c):
+    """The original allocating formulation (``acc = acc + c * group``)."""
+    c = tuple(float(x) for x in c)
+    out = np.zeros_like(u)
+    acc = np.zeros(tuple(n - 2 for n in u.shape))
+    for cls, offs in enumerate(offsets_by_class()):
+        if c[cls] == 0.0:
+            continue
+        group = np.zeros_like(acc)
+        for o in offs:
+            group = group + _shift_view(u, *o)
+        acc = acc + c[cls] * group
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+def _ref_buffered(u, c):
+    """The original allocating shared-buffer formulation."""
+    c = tuple(float(x) for x in c)
+    out = np.zeros_like(u)
+    C, M, P = slice(1, -1), slice(0, -2), slice(2, None)
+    t1 = u[M, C, :] + u[P, C, :] + u[C, M, :] + u[C, P, :]
+    t2 = u[M, M, :] + u[M, P, :] + u[P, M, :] + u[P, P, :]
+    if c[0] != 0.0:
+        acc = c[0] * u[C, C, C]
+    else:
+        acc = np.zeros(tuple(n - 2 for n in u.shape))
+    if c[1] != 0.0:
+        acc = acc + c[1] * ((u[C, C, M] + u[C, C, P]) + t1[:, :, C])
+    if c[2] != 0.0:
+        acc = acc + c[2] * ((t2[:, :, C] + t1[:, :, M]) + t1[:, :, P])
+    if c[3] != 0.0:
+        acc = acc + c[3] * (t2[:, :, M] + t2[:, :, P])
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+class TestOutContract:
+    """The ``out=`` contract fixes: stale ghosts, aliasing, bit-identity."""
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=KERNEL_IDS)
+    def test_stale_out_ghosts_are_zeroed(self, kernel):
+        # The documented contract promises a zero ghost shell; a reused
+        # out= buffer with stale ghost values used to keep them.
+        u = _random_periodic(4, seed=7)
+        out = make_grid(4)
+        out.fill(7.0)  # stale everywhere, including the ghost shell
+        ret = kernel(u, S_COEFFS_A, out=out)
+        assert ret is out
+        assert not out[0].any() and not out[-1].any()
+        assert not out[:, 0].any() and not out[:, -1].any()
+        assert not out[:, :, 0].any() and not out[:, :, -1].any()
+        np.testing.assert_array_equal(out, kernel(u, S_COEFFS_A))
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=KERNEL_IDS)
+    @pytest.mark.parametrize("c", list(STENCILS.values()),
+                             ids=list(STENCILS))
+    def test_out_aliasing_u_raises(self, kernel, c):
+        u = _random_periodic(4, seed=8)
+        with pytest.raises(StencilAliasError, match=r"\[MG001\]"):
+            kernel(u, c, out=u)
+
+    @pytest.mark.parametrize("kernel", ALL_KERNELS, ids=KERNEL_IDS)
+    def test_out_overlapping_view_raises(self, kernel):
+        big = np.zeros((8, 8, 8))
+        u = big[:6, :6, :6]
+        comm3(u)
+        overlapping = big[2:8, 2:8, 2:8]
+        with pytest.raises(StencilAliasError):
+            kernel(u, A_COEFFS, out=overlapping)
+
+    @pytest.mark.parametrize("kernel,ref", [
+        (relax_naive, _ref_naive),
+        (relax_grouped, _ref_grouped),
+        (relax_buffered, _ref_buffered),
+    ], ids=KERNEL_IDS)
+    @pytest.mark.parametrize("c", ALL_COEFFS, ids=["A", "Sa", "Sb", "P", "Q"])
+    def test_in_place_rewrite_bit_identical(self, kernel, ref, c):
+        # The in-place ufunc rewrite must reproduce the original
+        # allocating expressions bit for bit (same association order).
+        for seed in (0, 3, 11):
+            u = _random_periodic(8, seed=seed)
+            np.testing.assert_array_equal(kernel(u, c), ref(u, c))
+
+    def test_workspace_pooling_is_allocation_free_and_exact(self):
+        from repro.perf import Workspace
+
+        ws = Workspace()
+        u = _random_periodic(8, seed=9)
+        for kernel in ALL_KERNELS:
+            plain = kernel(u, S_COEFFS_A)
+            pooled = kernel(u, S_COEFFS_A, ws=ws)
+            np.testing.assert_array_equal(pooled, plain)
+        warm = ws.allocations
+        assert warm > 0
+        for kernel in ALL_KERNELS:
+            kernel(u, A_COEFFS, ws=ws)
+        assert ws.allocations == warm  # second round: pure pool hits
+        assert ws.hits > 0
 
 
 class TestOpCounts:

@@ -1,0 +1,112 @@
+"""Tests for the Workspace scratch pool and its accounting."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.perf import Workspace, WorkspaceCounters
+
+pytestmark = pytest.mark.perf
+
+
+class TestPooling:
+    def test_first_get_allocates_second_reuses(self):
+        ws = Workspace()
+        a = ws.get("x", (4, 4))
+        assert ws.allocations == 1 and ws.hits == 0
+        b = ws.get("x", (4, 4))
+        assert b is a
+        assert ws.allocations == 1 and ws.hits == 1
+
+    def test_distinct_keys_get_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.get("x", (4, 4))
+        assert ws.get("y", (4, 4)) is not a          # name
+        assert ws.get("x", (4, 5)) is not a          # shape
+        assert ws.get("x", (4, 4), tag=(0, 2)) is not a  # tag
+        assert ws.get("x", (4, 4), dtype=np.float32) is not a  # dtype
+        assert ws.allocations == 5
+
+    def test_shape_tuple_normalization(self):
+        ws = Workspace()
+        a = ws.get("x", [4, 4])
+        assert ws.get("x", (4, 4)) is a
+
+    def test_zeros_clears_reused_buffer(self):
+        ws = Workspace()
+        buf = ws.get("x", (3, 3))
+        buf.fill(9.0)
+        again = ws.zeros("x", (3, 3))
+        assert again is buf
+        assert not again.any()
+
+    def test_dtype_and_shape(self):
+        ws = Workspace()
+        buf = ws.get("x", (2, 3, 4), dtype=np.float32)
+        assert buf.shape == (2, 3, 4) and buf.dtype == np.float32
+
+
+class TestAccounting:
+    def test_bytes_and_live_buffers(self):
+        ws = Workspace()
+        ws.get("x", (10, 10))
+        ws.get("y", (5,))
+        assert ws.live_buffers == 2
+        assert ws.bytes_allocated == 100 * 8 + 5 * 8
+
+    def test_manager_books_points(self):
+        ws = Workspace()
+        ws.get("x", (4, 4, 4))
+        assert ws.manager.total_allocs == 1
+        assert ws.manager.live_points == 64
+
+    def test_counters_snapshot(self):
+        ws = Workspace()
+        ws.get("x", (2, 2))
+        ws.get("x", (2, 2))
+        snap = ws.counters()
+        assert isinstance(snap, WorkspaceCounters)
+        assert snap.allocations == 1
+        assert snap.hits == 1
+        assert snap.live_buffers == 1
+        assert snap.bytes_allocated == 4 * 8
+
+    def test_buffers_by_shape(self):
+        ws = Workspace()
+        ws.get("a", (4, 4))
+        ws.get("b", (4, 4))
+        ws.get("c", (2, 2))
+        assert ws.buffers_by_shape() == {(4, 4): 2, (2, 2): 1}
+
+    def test_clear_releases_everything(self):
+        ws = Workspace()
+        ws.get("x", (4, 4))
+        ws.clear()
+        assert ws.live_buffers == 0
+        assert ws.manager.live_points == 0
+        # A fresh request allocates again.
+        ws.get("x", (4, 4))
+        assert ws.allocations == 2
+
+
+class TestThreadSafety:
+    def test_concurrent_gets_one_allocation_per_key(self):
+        ws = Workspace()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker(i):
+            barrier.wait()
+            for _ in range(50):
+                results.append(id(ws.get("shared", (16, 16))))
+                ws.get("private", (8, 8), tag=(i,))
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 1        # one shared buffer ever
+        assert ws.allocations == 1 + 8       # shared + one per tag

@@ -1,13 +1,15 @@
 """Static analysis for SAC programs.
 
 A dataflow framework (CFG, reaching definitions, liveness, def-use
-chains) plus four analysis passes over it and the abstract shape
+chains) plus five analysis passes over it and the abstract shape
 interpreter:
 
 * shape inference and halo checking (``SAC1xx``),
 * WITH-loop partition checking (``SAC2xx``),
 * SPMD race certification (``SAC3xx``),
-* dataflow lints (``SAC4xx``).
+* dataflow lints (``SAC4xx``),
+* memory-effects, aliasing and in-place-reuse certification
+  (``SAC5xx``) — the certificates the ``ipup`` pass hands to codegen.
 
 Entry points: :func:`analyze_source` / :func:`analyze_file` /
 :func:`analyze_program`, or ``python -m repro.sac.analysis file.sac``.
@@ -39,7 +41,17 @@ from .driver import (
     analyze_program,
     analyze_source,
 )
+from .alias import AliasAnalysis, AliasPairs
+from .effects import (
+    EffectsAnalysis,
+    FunctionSummary,
+    ParamRead,
+    ReadKind,
+    VarRead,
+    alias_sources,
+)
 from .races import LoopCertificate, SAFE_FOLD_FUNCTIONS
+from .reuse import ReuseCertificate, certify_function, certify_program
 from .shapes import Affine, AValue, Interval, ShapeAnalyzer, WithLoopInfo
 
 __all__ = [
@@ -72,6 +84,18 @@ __all__ = [
     # race certification
     "LoopCertificate",
     "SAFE_FOLD_FUNCTIONS",
+    # effects / aliasing / reuse
+    "ReadKind",
+    "VarRead",
+    "ParamRead",
+    "FunctionSummary",
+    "EffectsAnalysis",
+    "alias_sources",
+    "AliasAnalysis",
+    "AliasPairs",
+    "ReuseCertificate",
+    "certify_function",
+    "certify_program",
     # driver
     "AnalysisOptions",
     "AnalysisReport",

@@ -8,7 +8,10 @@
    interpretation assumes a well-formed program;
 2. the abstract shape pass (``SAC1xx``) with the partition (``SAC2xx``)
    and race (``SAC3xx``) listeners attached;
-3. the dataflow lints (``SAC4xx``).
+3. the dataflow lints (``SAC4xx``);
+4. the memory-effects/alias/reuse certification (``SAC5xx``), fed the
+   WITH-loop facts the shape pass already collected so the abstract
+   interpretation runs once, not twice.
 
 Findings are deduplicated (inline expansion can visit the same helper
 from several call sites) and sorted by source position.  The result is
@@ -33,6 +36,7 @@ from ..stdlib import load_prelude
 from .lint import lint_program
 from .partition import PartitionChecker
 from .races import LoopCertificate, RaceChecker
+from .reuse import ReuseCertificate, certify_program
 from .shapes import ShapeAnalyzer
 
 __all__ = ["AnalysisOptions", "AnalysisReport", "analyze_program",
@@ -52,6 +56,8 @@ class AnalysisOptions:
     shapes: bool = True
     #: Run the SAC4xx dataflow lints.
     lint: bool = True
+    #: Run the SAC5xx effects/alias/reuse certification.
+    reuse: bool = True
     #: Findings at or above this severity make the report "failed".
     fail_on: Severity = Severity.ERROR
 
@@ -62,6 +68,8 @@ class AnalysisReport:
 
     diagnostics: list[Diagnostic] = field(default_factory=list)
     certificates: list[LoopCertificate] = field(default_factory=list)
+    reuse_certificates: list["ReuseCertificate"] = field(
+        default_factory=list)
     fail_on: Severity = Severity.ERROR
 
     @property
@@ -104,16 +112,22 @@ def analyze_program(program: Program,
     def coded_sink(code, message, pos, function):
         sink(Diagnostic.make(code, message, pos, function))
 
+    infos = None
     if options.shapes:
         races = RaceChecker(coded_sink)
+        infos = []
         analyzer = ShapeAnalyzer(
             program, sink,
-            listeners=(PartitionChecker(coded_sink), races),
+            listeners=(PartitionChecker(coded_sink), races,
+                       infos.append),
         )
         analyzer.analyze_program()
         report.certificates = races.certificates
     if options.lint:
         lint_program(program, coded_sink)
+    if options.reuse:
+        report.reuse_certificates = certify_program(
+            program, coded_sink, infos=infos)
     _finish(report)
     return report
 
@@ -144,6 +158,10 @@ def analyze_source(source: str, filename: str = "<sac>",
             ]
             full.certificates = [
                 c for c in full.certificates
+                if c.function not in prelude_names
+            ]
+            full.reuse_certificates = [
+                c for c in full.reuse_certificates
                 if c.function not in prelude_names
             ]
             return full

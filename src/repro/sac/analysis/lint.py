@@ -14,6 +14,14 @@ These are the direct clients of the CFG/dataflow framework:
   program but a path exists on which the variable is unbound.
 * **SAC404** — a WITH-loop generator variable shadowing a parameter or
   assigned variable of the enclosing function.
+* **SAC405** — the body of a WITH-loop reads the very array the loop's
+  result is bound to, at something other than the current index
+  (``a = with (...) modarray(a, a[iv - 1] ...)``).  The old and new
+  value of ``a`` must then coexist, which silently forbids the
+  in-place update the rebinding suggests — the self-dependence the
+  runtime only discovers when its alias guard fires.  A pure
+  point-read (``a[iv]``) is exempt: it is the reuse-friendly
+  accumulate idiom.
 
 All are warnings.
 """
@@ -41,6 +49,7 @@ from ..ast_nodes import (
     Select,
     Stmt,
     UnOp,
+    Var,
     VectorLit,
     While,
     WithLoop,
@@ -67,6 +76,7 @@ def lint_function(fun: FunDef, sink: Callable) -> None:
     _lint_unused(fun, cfg, reachable, sink)
     _lint_maybe_uninitialized(fun, cfg, reachable, sink)
     _lint_shadowing(fun, sink)
+    _lint_self_dependence(fun, sink)
 
 
 # -- SAC402 -----------------------------------------------------------------
@@ -194,6 +204,78 @@ def _lint_shadowing(fun: FunDef, sink) -> None:
             walk_expr(stmt.cond)
             walk_stmt(stmt.body)
             walk_stmt(stmt.update)
+
+    walk_stmt(fun.body)
+
+
+# -- SAC405 -----------------------------------------------------------------
+
+def _lint_self_dependence(fun: FunDef, sink) -> None:
+    """Warn when ``t = with (...) op`` reads ``t`` in the loop body at
+    anything but the current index."""
+
+    def body_reads_target(expr: Expr, target: str, gen_var: str) -> bool:
+        if isinstance(expr, Select) and isinstance(expr.array, Var) \
+                and expr.array.name == target:
+            idx = expr.index
+            if not (isinstance(idx, Var) and idx.name == gen_var):
+                return True
+            return body_reads_target(idx, target, gen_var)
+        if isinstance(expr, Var):
+            return expr.name == target
+        if isinstance(expr, WithLoop):
+            gen = expr.generator
+            for b in (gen.lower, gen.upper, gen.step, gen.width):
+                if b is not None \
+                        and body_reads_target(b, target, gen_var):
+                    return True
+            op = expr.operation
+            parts = ((op.shape,) if isinstance(op, GenarrayOp)
+                     else (op.array,) if isinstance(op, ModarrayOp)
+                     else (op.neutral,))
+            return any(body_reads_target(p, target, gen_var)
+                       for p in parts + (op.body,))
+        children = (
+            (expr.left, expr.right) if isinstance(expr, BinOp)
+            else (expr.operand,) if isinstance(expr, UnOp)
+            else (expr.array, expr.index) if isinstance(expr, Select)
+            else expr.args if isinstance(expr, Call)
+            else expr.elements if isinstance(expr, VectorLit)
+            else ()
+        )
+        return any(body_reads_target(c, target, gen_var)
+                   for c in children)
+
+    def check_assign(stmt: Assign) -> None:
+        if not isinstance(stmt.value, WithLoop):
+            return
+        wl = stmt.value
+        if body_reads_target(wl.operation.body, stmt.target,
+                             wl.generator.var):
+            sink(
+                "SAC405",
+                f"WITH-loop body reads '{stmt.target}', the array its "
+                f"result rebinds, at a non-identity index; the old "
+                f"value stays live and blocks in-place reuse",
+                wl.pos, fun.name,
+            )
+
+    def walk_stmt(stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            check_assign(stmt)
+        elif isinstance(stmt, Block):
+            for s in stmt.statements:
+                walk_stmt(s)
+        elif isinstance(stmt, If):
+            walk_stmt(stmt.then)
+            if stmt.orelse is not None:
+                walk_stmt(stmt.orelse)
+        elif isinstance(stmt, (While, DoWhile)):
+            walk_stmt(stmt.body)
+        elif isinstance(stmt, For):
+            check_assign(stmt.init)
+            walk_stmt(stmt.body)
+            check_assign(stmt.update)
 
     walk_stmt(fun.body)
 

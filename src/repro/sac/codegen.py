@@ -627,9 +627,18 @@ class Tracer(StatementExecutor):
             )
         else:
             dtype = np.promote_types(_dtype_of(base), _dtype_of(body))
-            out = self.em.assign(
-                f"{_code_of(self.em, base)}.copy()", frame_shape, dtype
-            )
+            if self._may_reuse_frame(wl, base, dtype):
+                # Certified in-place update (repro.sac.optim.ipup): the
+                # frame is a dead, unaliased temp of this trace, so the
+                # result steals its buffer instead of copying.  The body
+                # above is an expression over *views* of the frame;
+                # NumPy materializes the right-hand side of a slice
+                # assignment before writing, so overlap is safe.
+                out = TArray(base.code, frame_shape, dtype)
+            else:
+                out = self.em.assign(
+                    f"{_code_of(self.em, base)}.copy()", frame_shape, dtype
+                )
             if cell != frame_shape[space.rank:]:
                 raise SacTypeError("modarray cell shape mismatch")
         if not space.is_empty:
@@ -638,6 +647,25 @@ class Tracer(StatementExecutor):
                 f"{out.code}[{region}] = {_code_of(self.em, body)}"
             )
         return out
+
+    @staticmethod
+    def _may_reuse_frame(wl: WithLoop, base, dtype: np.dtype) -> bool:
+        """Whether a modarray result may steal its frame's buffer.
+
+        Requires the static certificate (a :class:`ReuseHint` attached
+        by the ipup pass) *and* trace-level guards: the frame must be a
+        symbolic temp of this trace — never a function parameter or an
+        interned module constant, whose buffers the caller owns — and
+        the write must not promote the dtype.
+        """
+        hint = wl.hint
+        return (
+            hint is not None
+            and hint.buffer_reuse
+            and isinstance(base, TArray)
+            and base.code.startswith("_t")
+            and dtype == base.dtype
+        )
 
     _CONCRETE_FOLD_LIMIT = 64
 

@@ -10,7 +10,9 @@ stable error code, a severity, and (wherever the parser recorded one) a
   (:mod:`repro.sac.analysis.partition`),
 * ``SAC3xx`` — parallel-execution race analysis
   (:mod:`repro.sac.analysis.races`),
-* ``SAC4xx`` — lints (:mod:`repro.sac.analysis.lint`).
+* ``SAC4xx`` — lints (:mod:`repro.sac.analysis.lint`),
+* ``SAC5xx`` — memory effects, aliasing and reuse certification
+  (:mod:`repro.sac.analysis.reuse`).
 
 Three emitters render a diagnostic list: plain text (one finding per
 line, ``file:line:col: severity: CODE message``), JSON, and SARIF 2.1.0
@@ -106,6 +108,15 @@ CODE_CATALOGUE: dict[str, tuple[Severity, str]] = {
                "variable may be uninitialized on some path"),
     "SAC404": (Severity.WARNING,
                "generator variable shadows an outer binding"),
+    "SAC405": (Severity.WARNING,
+               "WITH-loop body reads the array the loop's result "
+               "rebinds at a non-identity index"),
+    # -- SAC5xx: memory effects, aliasing & reuse -------------------------
+    "SAC501": (Severity.ERROR,
+               "in-place update would overwrite a live value"),
+    "SAC502": (Severity.WARNING,
+               "fusion blocked by cross-partition dependence"),
+    "SAC510": (Severity.NOTE, "reuse opportunity certified"),
 }
 
 

@@ -29,6 +29,7 @@ from ..optim.constfold import constfold_pass
 from ..optim.cse import cse_pass
 from ..optim.dce import dce_pass
 from ..optim.inline import inline_pass
+from ..optim.ipup import ipup_pass
 from ..optim.rewrite import ast_key
 from ..optim.unroll import unroll_pass
 from ..optim.wlfold import wlfold_pass
@@ -106,6 +107,11 @@ register_pass("cse", cse_pass,
               "share structurally equal subexpressions")
 register_pass("dce", dce_pass,
               "drop assignments made dead by folding")
+# Annotation-only: certificates describe the final loop structure, so
+# the analysis report stays valid; only compiled kernels must refresh.
+register_pass("ipup", ipup_pass,
+              "annotate WITH-loops with certified buffer-reuse hints",
+              invalidates=("kernels",))
 
 
 @dataclass(frozen=True)
@@ -258,7 +264,7 @@ def schedule_for(options) -> tuple[str | Fixpoint, ...]:
 
     The plain schedule reproduces the historical pipeline order exactly
     (inline, constfold, wlfold, unroll, constfold-again, coeffgroup,
-    cse, dce, each subject to its toggle).  With ``options.fixpoint``
+    cse, dce, ipup, each subject to its toggle).  With ``options.fixpoint``
     the interacting pairs run as fixpoint groups instead, so repeated
     folding opportunities exposed by a prior round are taken.
     """
@@ -286,4 +292,8 @@ def schedule_for(options) -> tuple[str | Fixpoint, ...]:
         schedule += group("constfold")
     schedule += group("coeffgroup")
     schedule += group("cse", "dce")
+    # ipup runs last and never joins a fixpoint group: its hints are
+    # annotations, not rewrites, and must describe the settled loops.
+    if getattr(options, "ipup", False):
+        schedule.append("ipup")
     return tuple(schedule)

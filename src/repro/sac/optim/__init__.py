@@ -4,6 +4,7 @@ from .coeffgroup import coeffgroup_pass
 from .constfold import constfold_pass
 from .dce import dce_pass
 from .inline import inline_pass
+from .ipup import ipup_pass
 from .pipeline import PASS_NAMES, PassOptions, optimize_program
 from .unroll import unroll_pass
 from .wlfold import wlfold_pass
@@ -18,4 +19,5 @@ __all__ = [
     "unroll_pass",
     "coeffgroup_pass",
     "dce_pass",
+    "ipup_pass",
 ]

@@ -1,0 +1,137 @@
+"""In-place-update annotation (the classic SAC "ipup" optimization).
+
+Runs the reuse certification of :mod:`repro.sac.analysis.reuse` over the
+(already optimized) program and attaches a
+:class:`~repro.sac.ast_nodes.ReuseHint` to every WITH-loop whose frame
+buffer was proven reusable — a dead, function-owned, unaliased operand.
+The pass itself rewrites nothing semantic; it records *proofs* on the
+IR.  The code generator consumes them: a hinted ``modarray`` loop skips
+the frame copy and writes into the operand's buffer directly, which is
+bit-identical because the body is always materialized before the write
+(NumPy copies on overlapping assignment).
+
+Scheduled last — after folding, unrolling and DCE have settled the
+loop structure and liveness the certificates reason about.  Any later
+pass that rewrites loops would have to re-run certification; the
+analysis side enforces this with SAC501, which rejects a hint the
+facts no longer support.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ast_nodes import (
+    Assign,
+    Block,
+    DoWhile,
+    Expr,
+    ExprStmt,
+    For,
+    FunDef,
+    If,
+    Program,
+    Return,
+    ReuseHint,
+    Stmt,
+    While,
+    WithLoop,
+)
+from ..ast_visit import map_child_exprs
+
+__all__ = ["ipup_pass"]
+
+
+def ipup_pass(program: Program) -> Program:
+    """Annotate certified WITH-loops with buffer-reuse hints."""
+    from ..analysis.reuse import certify_program
+
+    hints: dict[int, ReuseHint] = {}
+    for cert in certify_program(program):
+        if cert.buffer_reuse and cert.wl is not None:
+            hints[id(cert.wl)] = ReuseHint(
+                buffer_reuse=True,
+                destructive=cert.destructive,
+                frame=cert.frame,
+            )
+    if not hints:
+        return program
+    new_funs = []
+    changed = False
+    for fun in program.functions:
+        new_fun = _annotate_fun(fun, hints)
+        changed = changed or new_fun is not fun
+        new_funs.append(new_fun)
+    return program.with_functions(new_funs) if changed else program
+
+
+def _annotate_fun(fun: FunDef, hints: dict[int, ReuseHint]) -> FunDef:
+    body = _annotate_block(fun.body, hints)
+    return fun if body is fun.body else dataclasses.replace(fun, body=body)
+
+
+def _annotate_block(block: Block, hints: dict[int, ReuseHint]) -> Block:
+    stmts = tuple(_annotate_stmt(s, hints) for s in block.statements)
+    if all(a is b for a, b in zip(stmts, block.statements)):
+        return block
+    return dataclasses.replace(block, statements=stmts)
+
+
+def _annotate_stmt(stmt: Stmt, hints: dict[int, ReuseHint]) -> Stmt:
+    if isinstance(stmt, Assign):
+        value = _annotate_expr(stmt.value, hints)
+        return (stmt if value is stmt.value
+                else dataclasses.replace(stmt, value=value))
+    if isinstance(stmt, Return):
+        value = _annotate_expr(stmt.value, hints)
+        return (stmt if value is stmt.value
+                else dataclasses.replace(stmt, value=value))
+    if isinstance(stmt, ExprStmt):
+        expr = _annotate_expr(stmt.expr, hints)
+        return (stmt if expr is stmt.expr
+                else dataclasses.replace(stmt, expr=expr))
+    if isinstance(stmt, Block):
+        return _annotate_block(stmt, hints)
+    if isinstance(stmt, If):
+        cond = _annotate_expr(stmt.cond, hints)
+        then = _annotate_block(stmt.then, hints)
+        orelse = (_annotate_block(stmt.orelse, hints)
+                  if stmt.orelse is not None else None)
+        if cond is stmt.cond and then is stmt.then \
+                and orelse is stmt.orelse:
+            return stmt
+        return dataclasses.replace(stmt, cond=cond, then=then,
+                                   orelse=orelse)
+    if isinstance(stmt, While):
+        cond = _annotate_expr(stmt.cond, hints)
+        body = _annotate_block(stmt.body, hints)
+        if cond is stmt.cond and body is stmt.body:
+            return stmt
+        return dataclasses.replace(stmt, cond=cond, body=body)
+    if isinstance(stmt, DoWhile):
+        cond = _annotate_expr(stmt.cond, hints)
+        body = _annotate_block(stmt.body, hints)
+        if cond is stmt.cond and body is stmt.body:
+            return stmt
+        return dataclasses.replace(stmt, cond=cond, body=body)
+    if isinstance(stmt, For):
+        init = _annotate_stmt(stmt.init, hints)
+        cond = _annotate_expr(stmt.cond, hints)
+        update = _annotate_stmt(stmt.update, hints)
+        body = _annotate_block(stmt.body, hints)
+        if init is stmt.init and cond is stmt.cond \
+                and update is stmt.update and body is stmt.body:
+            return stmt
+        return dataclasses.replace(stmt, init=init, cond=cond,
+                                   update=update, body=body)
+    return stmt
+
+
+def _annotate_expr(expr: Expr, hints: dict[int, ReuseHint]) -> Expr:
+    # Children first: certificates only attach to statement-level loops,
+    # but the recursion keeps the pass total over any expression shape.
+    hint = hints.get(id(expr))
+    new = map_child_exprs(expr, lambda e: _annotate_expr(e, hints))
+    if hint is not None and isinstance(new, WithLoop):
+        new = dataclasses.replace(new, hint=hint)
+    return new

@@ -11,7 +11,10 @@ Pass order mirrors the SAC compiler's high-level strategy:
 6. **coeffgroup** — group equal stencil coefficients (27 -> 4 muls, §5),
 7. **cse** — share structurally equal subexpressions within
    straight-line runs,
-8. **dce** — drop intermediates made dead by folding.
+8. **dce** — drop intermediates made dead by folding,
+9. **ipup** — annotate WITH-loops whose frame buffer the reuse
+   certification (:mod:`repro.sac.analysis.reuse`) proves dead and
+   unaliased; codegen then elides the frame copy.
 
 Each pass can be toggled (the ablation benchmarks flip them one by one).
 
@@ -32,7 +35,7 @@ __all__ = ["PassOptions", "optimize_program", "optimize_with_report",
            "PASS_NAMES"]
 
 PASS_NAMES = ("inline", "constfold", "wlfold", "unroll", "coeffgroup",
-              "cse", "dce")
+              "cse", "dce", "ipup")
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -46,6 +49,7 @@ class PassOptions:
     coeffgroup: bool = True
     cse: bool = True
     dce: bool = True
+    ipup: bool = True
     #: Run the static analyzer first; raise on error-severity findings.
     analyze: bool = False
     #: Schedule the interacting pass pairs (constfold/wlfold, cse/dce)
@@ -56,7 +60,7 @@ class PassOptions:
     def none() -> "PassOptions":
         return PassOptions(inline=False, constfold=False, wlfold=False,
                            unroll=False, coeffgroup=False, cse=False,
-                           dce=False)
+                           dce=False, ipup=False)
 
     @classmethod
     def from_overrides(cls, overrides) -> "PassOptions":

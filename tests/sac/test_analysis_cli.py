@@ -94,10 +94,68 @@ class TestFindings:
         proc = run_cli(str(SRC / "repro" / "mg_sac" / "mg.sac"),
                        "--certificates")
         assert "SPMD-safe" in proc.stdout
+        # The reuse certificates print after the SPMD block.
+        assert "may reuse buffer of 'lo'" in proc.stdout
 
     def test_missing_file_exit_2(self):
         proc = run_cli("no/such/file.sac")
         assert proc.returncode == 2
+
+
+class TestCodeFilters:
+    def test_select_keeps_only_family(self, overlap_file):
+        proc = run_cli(str(overlap_file), "--select", "SAC2")
+        assert "SAC201" in proc.stdout
+        assert "SAC301" not in proc.stdout
+
+    def test_ignore_drops_code(self, overlap_file):
+        proc = run_cli(str(overlap_file), "--ignore", "SAC201")
+        assert "SAC201" not in proc.stdout
+        assert "SAC301" in proc.stdout
+
+    def test_ignore_wins_over_select(self, overlap_file):
+        proc = run_cli(str(overlap_file), "--select", "SAC2",
+                       "--ignore", "SAC201")
+        assert "SAC201" not in proc.stdout
+        assert "SAC301" not in proc.stdout
+
+    def test_filters_apply_before_fail_on(self, overlap_file):
+        # Both error findings filtered out: the run must pass.
+        proc = run_cli(str(overlap_file), "--select", "SAC4")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_select_sac5_on_mg(self):
+        proc = run_cli(str(SRC / "repro" / "mg_sac" / "mg.sac"),
+                       "--select", "SAC5")
+        assert proc.returncode == 0
+        assert "SAC510" in proc.stdout
+
+    def test_unknown_prefix_exit_2(self, overlap_file):
+        proc = run_cli(str(overlap_file), "--select", "BOGUS")
+        assert proc.returncode == 2
+        assert "matches no known diagnostic code" in proc.stderr
+
+    def test_filters_reach_json_and_sarif(self, overlap_file):
+        proc = run_cli(str(overlap_file), "--format", "json",
+                       "--ignore", "SAC201,SAC301")
+        payload = json.loads(proc.stdout)
+        codes = {d["code"] for d in payload["diagnostics"]}
+        assert not ({"SAC201", "SAC301"} & codes)
+
+    def test_fail_on_never_still_reports(self, overlap_file):
+        # The CI SARIF artifact pass: findings present, exit 0 — an
+        # analyzer crash is the only thing that can fail the step.
+        proc = run_cli(str(overlap_file), "--format", "sarif",
+                       "--fail-on", "never")
+        assert proc.returncode == 0
+        sarif = json.loads(proc.stdout)
+        assert sarif["runs"][0]["results"]
+
+    def test_no_reuse_flag(self):
+        proc = run_cli(str(SRC / "repro" / "mg_sac" / "mg.sac"),
+                       "--no-reuse")
+        assert proc.returncode == 0
+        assert "SAC510" not in proc.stdout
 
 
 class TestTypecheckMigration:

@@ -148,6 +148,26 @@ class TestLints:
                "fold(+, 0, iv[[0]]); }")
         assert "SAC404" not in codes(src)
 
+    def test_self_dependence_offset_read(self):
+        src = ("double[+] f(double[+] a) { a = with ([1] <= iv < "
+               "shape(a) - 1) modarray(a, a[iv - 1]); return a; }")
+        assert "SAC405" in codes(src)
+
+    def test_self_dependence_whole_read(self):
+        src = ("double[+] f(double[+] a) { a = with ([1] <= iv < "
+               "shape(a) - 1) modarray(a, sum(a)); return a; }")
+        assert "SAC405" in codes(src)
+
+    def test_point_read_accumulate_idiom_exempt(self):
+        src = ("double[+] f(double[+] a) { a = with ([1] <= iv < "
+               "shape(a) - 1) modarray(a, a[iv] * 2.0); return a; }")
+        assert "SAC405" not in codes(src)
+
+    def test_distinct_target_clean(self):
+        src = ("double[+] f(double[+] a) { b = with ([1] <= iv < "
+               "shape(a) - 1) modarray(a, a[iv - 1]); return b; }")
+        assert "SAC405" not in codes(src)
+
 
 class TestSourcePosPropagation:
     """Every node the parser builds must carry a SourcePos."""

@@ -1,0 +1,214 @@
+"""Reuse certification (SAC5xx layer 3): ReuseCertificates and the
+SAC501/SAC502/SAC510 diagnostics."""
+
+import dataclasses
+
+from repro.sac.analysis import analyze_source
+from repro.sac.analysis.effects import EffectsAnalysis
+from repro.sac.analysis.reuse import certify_function, certify_program
+from repro.sac.ast_nodes import Program, ReuseHint, WithLoop
+from repro.sac.parser import parse_program
+from repro.sac.stdlib import load_prelude
+
+
+def certify(src, name=None):
+    prog = parse_program(src)
+    eff = EffectsAnalysis(prog)
+    fun = prog.functions[-1] if name is None else next(
+        f for f in prog.functions if f.name == name)
+    found = []
+
+    def sink(code, message, pos, function):
+        found.append((code, message))
+
+    return certify_function(fun, eff, sink), found
+
+
+REUSABLE = """
+double[+] f(double[+] a) {
+    lo = a + 1.0;
+    hi = with ([1] <= iv < shape(a) - 1) modarray(lo, lo[iv] * 2.0);
+    return hi;
+}
+"""
+
+OFFSET_BODY = """
+double[+] f(double[+] a) {
+    lo = a + 1.0;
+    hi = with ([1] <= iv < shape(a) - 1) modarray(lo, lo[iv - 1]);
+    return hi;
+}
+"""
+
+
+class TestCertification:
+    def test_dead_local_frame_certifies(self):
+        certs, found = certify(REUSABLE)
+        cert = next(c for c in certs if c.target == "hi")
+        assert cert.buffer_reuse
+        assert cert.frame == "lo"
+        assert ("SAC510",) == tuple(c for c, _ in found)
+
+    def test_point_read_is_destructive(self):
+        certs, _ = certify(REUSABLE)
+        cert = next(c for c in certs if c.target == "hi")
+        assert cert.destructive
+
+    def test_offset_read_blocks_destructive_not_reuse(self):
+        certs, _ = certify(OFFSET_BODY)
+        cert = next(c for c in certs if c.target == "hi")
+        assert cert.buffer_reuse
+        assert not cert.destructive
+        assert "lo" in cert.hazards
+
+    def test_param_frame_refused(self):
+        certs, found = certify(
+            "double[+] f(double[+] a) { r = with ([1] <= iv < "
+            "shape(a) - 1) modarray(a, a[iv] * 2.0); return r; }")
+        cert = next(c for c in certs if c.target == "r")
+        assert not cert.buffer_reuse
+        assert any("parameter" in r for r in cert.reasons)
+        assert found == []
+
+    def test_live_frame_refused(self):
+        certs, _ = certify(
+            "double f(double[+] a) { lo = a + 1.0; "
+            "hi = with ([1] <= iv < shape(a) - 1) "
+            "modarray(lo, lo[iv]); return sum(hi) + sum(lo); }")
+        cert = next(c for c in certs if c.target == "hi")
+        assert not cert.buffer_reuse
+        assert any("live after" in r for r in cert.reasons)
+
+    def test_aliased_frame_refused(self):
+        # b aliases parameter a, so writing b in place would scribble
+        # on the caller's buffer.
+        certs, _ = certify(
+            "double[+] f(double[+] a) { b = a[[0]]; "
+            "hi = with ([1] <= iv < shape(b) - 1) "
+            "modarray(b, b[iv] * 2.0); return hi; }")
+        cert = next(c for c in certs if c.target == "hi")
+        assert not cert.buffer_reuse
+        assert any("alias" in r for r in cert.reasons)
+
+    def test_genarray_never_reuses(self):
+        certs, _ = certify(
+            "double[+] f(double[+] a) { r = with (0 * shape(a) <= iv "
+            "< shape(a)) genarray(shape(a), a[iv]); return r; }")
+        cert = next(c for c in certs if c.target == "r")
+        assert not cert.buffer_reuse
+        assert cert.kind == "genarray"
+
+    def test_fold_never_reuses(self):
+        certs, _ = certify(
+            "double f(double[+] a) { s = with (0 * shape(a) <= iv "
+            "< shape(a)) fold(+, 0.0, a[iv]); return s; }")
+        cert = next(c for c in certs if c.target == "s")
+        assert not cert.buffer_reuse
+        assert cert.kind == "fold"
+
+
+class TestHintChecking:
+    def _with_bogus_hint(self, src):
+        """Attach buffer_reuse hints the analysis must refute."""
+        prog = parse_program(src)
+
+        def poison(fun):
+            stmts = []
+            for stmt in fun.body.statements:
+                if hasattr(stmt, "value") \
+                        and isinstance(stmt.value, WithLoop):
+                    wl = dataclasses.replace(
+                        stmt.value,
+                        hint=ReuseHint(buffer_reuse=True,
+                                       destructive=True))
+                    stmt = dataclasses.replace(stmt, value=wl)
+                stmts.append(stmt)
+            return dataclasses.replace(
+                fun, body=dataclasses.replace(
+                    fun.body, statements=tuple(stmts)))
+
+        return Program(tuple(poison(f) for f in prog.functions))
+
+    def test_refuted_hint_is_sac501(self):
+        prog = self._with_bogus_hint(
+            "double[+] f(double[+] a) { r = with ([1] <= iv < "
+            "shape(a) - 1) modarray(a, a[iv] * 2.0); return r; }")
+        found = []
+        certify_program(prog,
+                        lambda c, m, p, f: found.append(c))
+        assert "SAC501" in found
+
+    def test_valid_hint_is_silent(self):
+        prog = self._with_bogus_hint(REUSABLE)
+        found = []
+        certify_program(prog,
+                        lambda c, m, p, f: found.append(c))
+        # The hi loop's hint is legitimate; only the claim of a
+        # destructive update on an offset-free body survives checking.
+        assert "SAC501" not in found
+
+
+class TestPartitionDependence:
+    def test_offset_read_of_partial_producer_warns(self):
+        src = """
+        double[+] f(double[+] a) {
+            t = with ([1] <= iv < shape(a) - 1)
+                genarray(shape(a), a[iv]);
+            s = with ([1] <= iv < shape(a) - 1)
+                modarray(a, t[iv - 1]);
+            return s;
+        }
+        """
+        found = []
+        certify_program(parse_program(src),
+                        lambda c, m, p, f: found.append(c))
+        assert "SAC502" in found
+
+    def test_point_read_of_partial_producer_is_fine(self):
+        src = """
+        double[+] f(double[+] a) {
+            t = with ([1] <= iv < shape(a) - 1)
+                genarray(shape(a), a[iv]);
+            s = with ([1] <= iv < shape(a) - 1)
+                modarray(a, t[iv]);
+            return s;
+        }
+        """
+        found = []
+        certify_program(parse_program(src),
+                        lambda c, m, p, f: found.append(c))
+        assert "SAC502" not in found
+
+
+class TestDriverIntegration:
+    def test_report_carries_reuse_certificates(self):
+        report = analyze_source(REUSABLE)
+        assert any(c.buffer_reuse for c in report.reuse_certificates)
+        assert any(d.code == "SAC510" for d in report.diagnostics)
+
+    def test_notes_do_not_fail_the_report(self):
+        report = analyze_source(REUSABLE)
+        assert report.ok
+
+    def test_mg_program_certificates(self):
+        prelude = load_prelude()
+        user = parse_program(
+            open("src/repro/mg_sac/mg.sac").read(), "mg.sac")
+        prog = Program(tuple(prelude.functions) + tuple(user.functions))
+        found = []
+        certs = certify_program(
+            prog, lambda c, m, p, f: found.append((c, f)))
+        # Every user WITH-loop has a certificate; exactly one reuse
+        # opportunity (SetupAxis hi <- lo) and no SAC5xx errors.
+        user_certs = {(c.function, c.target) for c in certs}
+        for fn, tgt in [("StencilSum", "s"), ("RelaxKernel", "r"),
+                        ("SetupAxis", "lo"), ("SetupAxis", "hi"),
+                        ("Interior", "ai")]:
+            assert (fn, tgt) in user_certs
+        reused = [c for c in certs if c.buffer_reuse]
+        assert [(c.function, c.target, c.frame) for c in reused] \
+            == [("SetupAxis", "hi", "lo")]
+        assert [c for c, _ in found if c == "SAC501"] == []
+        assert [c for c, _ in found if c == "SAC502"] == []
+        assert [c for c, _ in found if c == "SAC510"] \
+            == ["SAC510"]

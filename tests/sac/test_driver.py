@@ -120,7 +120,8 @@ class TestPassManager:
     def test_default_schedule_matches_legacy_order(self):
         sched = schedule_for(PassOptions())
         assert sched == ("inline", "constfold", "wlfold", "unroll",
-                         "constfold", "coeffgroup", "cse", "dce")
+                         "constfold", "coeffgroup", "cse", "dce",
+                         "ipup")
 
     def test_schedule_respects_toggles(self):
         sched = schedule_for(PassOptions(unroll=False, cse=False))

@@ -22,6 +22,22 @@ slow-rank  degrade   world-scoped stall: distributed rung times out every
                      attempt, ladder lands on serial
 =========  ========  =====================================================
 
+The **heal matrix** (``heal-*`` cells, x in-proc/socket transports)
+exercises elastic recovery beneath the ladder:
+
+=================  ====================================================
+cell               expectation
+=================  ====================================================
+heal-1crash        one rank killed: healed in place, zero demotions,
+                   solved at width 4
+heal-2crash        two ranks killed at different iterations: both
+                   healed, zero demotions, width 4
+heal-rejoin-crash  two ranks killed at the *same* iteration with heal
+                   budget 1: the second death lands while the heal is
+                   in flight, the world aborts, and the ladder degrades
+                   cleanly to serial
+=================  ====================================================
+
 Each cell's :class:`SolveReport` is written to ``--out`` as JSON (the CI
 job uploads the directory as an artifact).  Exits non-zero, with a
 diagnostic per failed cell, when any expectation is violated.  Usage:
@@ -42,6 +58,7 @@ CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "20260806"))
 def _scenarios():
     from repro.runtime.resilience import Fault, FaultKind, FaultPlan
     from repro.runtime.supervisor import (
+        HealPolicy,
         RetryPolicy,
         Rung,
         SupervisorPolicy,
@@ -71,7 +88,28 @@ def _scenarios():
         return FaultPlan([Fault(FaultKind.SLOW, rank=1, iteration=2,
                                 delay=1.5, scope=scope)], seed=CHAOS_SEED)
 
-    return {
+    def one_crash():
+        return FaultPlan([Fault(FaultKind.CRASH, rank=1, iteration=1)],
+                         seed=CHAOS_SEED)
+
+    def two_crashes():
+        # Distinct ranks, distinct iterations: each death is healed on
+        # its own two-phase rejoin (class S runs iterations 0..3).
+        return FaultPlan([
+            Fault(FaultKind.CRASH, rank=1, iteration=1),
+            Fault(FaultKind.CRASH, rank=3, iteration=3),
+        ], seed=CHAOS_SEED)
+
+    def rejoin_crash():
+        # Same iteration, two ranks, heal budget 1: whichever death the
+        # heal authority sees second is unhealable, so the world aborts
+        # mid-heal and the ladder takes over.
+        return FaultPlan([
+            Fault(FaultKind.CRASH, rank=1, iteration=2),
+            Fault(FaultKind.CRASH, rank=2, iteration=2),
+        ], seed=CHAOS_SEED)
+
+    cells = {
         "crash-retry": (crash("plan"), policy(),
                         ["solved", "verified", "retried", "checkpointed"]),
         "crash-degrade": (crash("world"), policy(),
@@ -87,6 +125,21 @@ def _scenarios():
         "slow-degrade": (slow("world"), policy(op_timeout=0.4),
                          ["solved", "verified", "demoted", "serial_rung"]),
     }
+    for transport in ("inproc", "socket"):
+        cells[f"heal-1crash-{transport}"] = (
+            one_crash(),
+            policy(heal=HealPolicy(max_heals=2), transport=transport),
+            ["solved", "verified", "healed", "no_demotions", "width4"])
+        cells[f"heal-2crash-{transport}"] = (
+            two_crashes(),
+            policy(heal=HealPolicy(max_heals=2), transport=transport),
+            ["solved", "verified", "healed_twice", "no_demotions",
+             "width4"])
+        cells[f"heal-rejoin-crash-{transport}"] = (
+            rejoin_crash(),
+            policy(heal=HealPolicy(max_heals=1), transport=transport),
+            ["solved", "verified", "demoted", "serial_rung"])
+    return cells
 
 
 def _check(name: str, res, expectations: list[str]) -> list[str]:
@@ -103,6 +156,10 @@ def _check(name: str, res, expectations: list[str]) -> list[str]:
         "demoted": len(rep.demotions) >= 1,
         "watchdog": len(rep.watchdog_verdicts) >= 1,
         "serial_rung": rep.solved_by == "serial",
+        "healed": sum(h.completed for h in rep.heals) >= 1,
+        "healed_twice": sum(h.completed for h in rep.heals) >= 2,
+        "no_demotions": len(rep.demotions) == 0,
+        "width4": rep.solved_by == "distributed[numpy]x4",
     }
     for expectation in expectations:
         if not checks[expectation]:
@@ -137,7 +194,9 @@ def main(argv: list[str] | None = None) -> int:
               f"solved_by={rep.solved_by} retries={rep.retries} "
               f"checkpoints={rep.checkpoints_used} "
               f"watchdog={rep.watchdog_verdicts} "
-              f"demotions={len(rep.demotions)}")
+              f"demotions={len(rep.demotions)} "
+              f"heals={sum(h.completed for h in rep.heals)}"
+              f"/{len(rep.heals)}")
         failures.extend(problems)
 
     if failures:

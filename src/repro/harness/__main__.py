@@ -91,6 +91,16 @@ def main(argv: list[str] | None = None) -> int:
         help="path for the bench command's BENCH_<n>.json "
         "(default: BENCH_<current>.json in the working directory)",
     )
+    parser.add_argument(
+        "--transport", choices=["inproc", "socket"], default="inproc",
+        help="communication substrate for the supervised command's "
+        "distributed rungs (default: inproc)",
+    )
+    parser.add_argument(
+        "--heal", type=int, metavar="N", default=None,
+        help="enable elastic healing for the supervised command: replace "
+        "up to N dead ranks in place from checkpoint before demoting",
+    )
     args = parser.parse_args(argv)
     bad = [c for c in args.commands if c not in known]
     if bad:
@@ -175,10 +185,21 @@ def main(argv: list[str] | None = None) -> int:
                 status |= 1
             print(f"  written to {path}")
         elif cmd == "supervised":
-            from repro.runtime import SupervisedSolver, SupervisionFailed
+            from repro.runtime import (
+                HealPolicy,
+                SupervisedSolver,
+                SupervisionFailed,
+                SupervisorPolicy,
+            )
 
+            policy = SupervisorPolicy(
+                transport=args.transport,
+                heal=(HealPolicy(max_heals=args.heal)
+                      if args.heal is not None else None),
+            )
             try:
-                res = SupervisedSolver().solve(args.size_class)
+                res = SupervisedSolver().solve(args.size_class,
+                                               policy=policy)
                 rep = res.report
             except SupervisionFailed as exc:
                 rep = exc.report

@@ -1,20 +1,30 @@
 """Resilience layer for the SPMD MG runtime.
 
-Fault injection (:mod:`.faults`), failure detection and fast abort
-(:mod:`.detect`, :mod:`.errors`), halo integrity (:mod:`.checksum`) and
-checkpoint/restart (:mod:`.checkpoint`) — threaded through
-:mod:`repro.runtime.spmd` and documented in ``docs/RESILIENCE.md``.
+Fault injection (:mod:`.faults`), failure detection, heartbeat liveness
+and fast abort (:mod:`.detect`, :mod:`.errors`), halo integrity
+(:mod:`.checksum`) and checkpoint/restart (:mod:`.checkpoint`) —
+threaded through :mod:`repro.runtime.spmd` and documented in
+``docs/RESILIENCE.md``.
 """
 
 from .checkpoint import CheckpointStore, RankState
 from .checksum import SealedMessage, plane_checksum
-from .detect import CancellationToken, FailureRegistry, ResilienceStats
+from .detect import (
+    CancellationToken,
+    FailureRegistry,
+    HeartbeatConfig,
+    HeartbeatMonitor,
+    ResilienceStats,
+)
 from .errors import (
     BarrierTimeout,
     CheckpointError,
     HaloCorruption,
     HaloTimeout,
+    HealRejoin,
+    HeartbeatLost,
     InjectedFault,
+    RankDeclaredDead,
     RankFailure,
     ResilienceError,
     TeamError,
@@ -33,7 +43,12 @@ __all__ = [
     "FailureRegistry",
     "HaloCorruption",
     "HaloTimeout",
+    "HealRejoin",
+    "HeartbeatConfig",
+    "HeartbeatLost",
+    "HeartbeatMonitor",
     "InjectedFault",
+    "RankDeclaredDead",
     "RankFailure",
     "RankInjector",
     "RankState",

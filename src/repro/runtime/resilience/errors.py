@@ -15,6 +15,9 @@ Hierarchy::
     ├── BarrierTimeout     a barrier wait exceeded its deadline
     ├── HaloCorruption     checksum mismatch survived all retransmits
     ├── InjectedFault      a FaultPlan fault firing inside a rank
+    ├── HeartbeatLost      the liveness detector declared a rank dead
+    ├── RankDeclaredDead   a stale thread noticed its own replacement
+    ├── HealRejoin         control flow: roll back and rejoin a healed world
     ├── CheckpointError    checkpoint store misuse / missing snapshot
     └── TeamError          composite worker failure in a fork-join team
 """
@@ -31,6 +34,9 @@ __all__ = [
     "BarrierTimeout",
     "HaloCorruption",
     "InjectedFault",
+    "HeartbeatLost",
+    "RankDeclaredDead",
+    "HealRejoin",
     "CheckpointError",
     "TeamError",
 ]
@@ -49,6 +55,24 @@ def _where(op: str | None, level: int | None, iteration: int | None) -> str:
     if level is not None:
         parts.append(f"level {level}")
     return f" ({', '.join(parts)})" if parts else ""
+
+
+def _failures_note(failures: Sequence["RankFailure"]) -> str:
+    """Render the registry contents for a timeout message.
+
+    A timeout during an *unnoticed* rank death is the hard case to
+    debug; naming every already-recorded failure in the timeout message
+    makes it diagnosable from the exception alone.
+    """
+    if not failures:
+        return "; no rank failures recorded at timeout"
+    items = ", ".join(
+        f"rank {f.rank} ({type(f.cause).__name__ if f.cause is not None else 'unknown'}"
+        + (f" @ iteration {f.iteration}" if f.iteration is not None else "")
+        + ")"
+        for f in failures
+    )
+    return f"; known failures at timeout: {items}"
 
 
 class RankFailure(ResilienceError):
@@ -98,17 +122,24 @@ class HaloTimeout(ResilienceError):
 
     def __init__(self, rank: int, *, op: str | None = None,
                  level: int | None = None, src: int | None = None,
-                 timeout: float | None = None):
+                 timeout: float | None = None,
+                 elapsed: float | None = None,
+                 failures: Sequence["RankFailure"] = ()):
         self.rank = rank
         self.op = op
         self.level = level
         self.src = src
         self.timeout = timeout
+        self.elapsed = elapsed
+        self.failures = tuple(failures)
         msg = f"rank {rank}: halo recv timed out{_where(op, level, None)}"
         if src is not None:
             msg += f" waiting on rank {src}"
         if timeout is not None:
             msg += f" after {timeout:g}s"
+        if elapsed is not None:
+            msg += f" (waited {elapsed:.3f}s)"
+        msg += _failures_note(self.failures)
         super().__init__(msg)
 
 
@@ -116,13 +147,20 @@ class BarrierTimeout(ResilienceError):
     """A barrier wait expired (wraps ``threading.BrokenBarrierError``)."""
 
     def __init__(self, rank: int, *, op: str | None = None,
-                 timeout: float | None = None):
+                 timeout: float | None = None,
+                 elapsed: float | None = None,
+                 failures: Sequence["RankFailure"] = ()):
         self.rank = rank
         self.op = op
         self.timeout = timeout
+        self.elapsed = elapsed
+        self.failures = tuple(failures)
         msg = f"rank {rank}: barrier timed out{_where(op, None, None)}"
         if timeout is not None:
             msg += f" after {timeout:g}s"
+        if elapsed is not None:
+            msg += f" (waited {elapsed:.3f}s)"
+        msg += _failures_note(self.failures)
         super().__init__(msg)
 
 
@@ -152,6 +190,67 @@ class InjectedFault(ResilienceError):
             f"injected {kind} fault on rank {rank}"
             f"{_where(None, None, iteration)}"
         )
+
+
+class HeartbeatLost(ResilienceError):
+    """The liveness detector declared a rank dead: no beat for too long.
+
+    Unlike :class:`HaloTimeout` — an *observer-side* symptom that names
+    only the link that went quiet — this failure names the silent rank
+    itself, so elastic healing knows exactly whom to replace.
+    """
+
+    def __init__(self, rank: int, *, silent_for: float | None = None,
+                 dead_after: float | None = None, beats: int = 0,
+                 phi: float | None = None):
+        self.rank = rank
+        self.silent_for = silent_for
+        self.dead_after = dead_after
+        self.beats = beats
+        self.phi = phi
+        msg = f"rank {rank} declared dead by heartbeat detector"
+        if silent_for is not None:
+            msg += f": silent for {silent_for:.3f}s"
+        if dead_after is not None:
+            msg += f" (death threshold {dead_after:g}s)"
+        if phi is not None:
+            msg += f", phi={phi:.1f}"
+        msg += f" after {beats} beat(s)"
+        super().__init__(msg)
+
+
+class RankDeclaredDead(ResilienceError):
+    """A stale rank thread noticed it has been replaced.
+
+    Raised *inside* a zombie — a thread whose rank was declared dead
+    (e.g. by the heartbeat detector during a long stall) and replaced by
+    elastic healing, but which later woke up.  The zombie must unwind
+    silently without touching results or sending messages; this
+    exception is its exit ramp and is never recorded as a failure.
+    """
+
+    def __init__(self, rank: int, *, incarnation: int = 0):
+        self.rank = rank
+        self.incarnation = incarnation
+        super().__init__(
+            f"rank {rank} (incarnation {incarnation}) was declared dead and "
+            f"replaced; stale thread must exit")
+
+
+class HealRejoin(ResilienceError):
+    """Control-flow signal: the world healed, roll back and rejoin.
+
+    Raised inside surviving ranks when the world's heal epoch advances.
+    Not a failure — the rank catches it, restores its slab from the
+    checkpoint the replacement rank is restoring from, and meets the
+    world at the two-phase rejoin barrier.
+    """
+
+    def __init__(self, epoch: int):
+        self.epoch = epoch
+        super().__init__(
+            f"world heal epoch {epoch}: rank must roll back to the last "
+            f"complete checkpoint and rejoin")
 
 
 class CheckpointError(ResilienceError):

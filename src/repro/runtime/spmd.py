@@ -23,6 +23,12 @@ per-element arithmetic reuses the expression-order-exact chunk kernels,
 so the solution fields are bit-identical to the serial solver; only the
 final *norm's* summation order differs, as it does for real MPI too).
 
+The communication substrate is pluggable (:mod:`repro.runtime.transport`):
+``World(transport="inproc")`` runs over per-link in-process queues (the
+seed behaviour), ``transport="socket"`` over loopback TCP with framed,
+CRC-guarded pickles — proving the fabric spans hosts in principle.  All
+timeout/poll knobs live in one :class:`TransportConfig`.
+
 The runtime carries real failure semantics (see ``docs/RESILIENCE.md``):
 
 * every blocking operation is governed by a configurable **timeout**
@@ -35,23 +41,31 @@ The runtime carries real failure semantics (see ``docs/RESILIENCE.md``):
   :class:`WorldAborted` within milliseconds rather than timing out; all
   primary failures are collected in a lock-protected registry and the
   caller receives the composite naming every failed rank;
+* an optional **heartbeat detector** (``World(heartbeat=...)``,
+  ``REPRO_SPMD_HEARTBEAT_*`` env knobs) marks silent ranks *suspected*
+  then *dead*, distinguishing a slow rank (recovers) from a dead one
+  (feeds the registry) instead of conflating both into a timeout;
 * a seeded, deterministic :class:`FaultPlan` can inject crashes, drops,
-  delays, corruption and slowness through hooks on ``_Channel``;
+  delays, corruption and slowness through hooks on the channels;
 * with ``halo_checksums=True`` each halo plane travels with a CRC and is
   retransmitted from a replay buffer on mismatch (bounded by
   ``halo_retries``) before escalating;
 * a :class:`CheckpointStore` snapshots per-rank state at iteration
   boundaries and a failed run restarts bit-identically from the last
-  complete snapshot.
+  complete snapshot;
+* with **elastic healing** attached (``DistributedMG(heal=...)``, see
+  ``docs/SUPERVISOR.md``), a single-rank death with a complete
+  checkpoint does not abort the world at all: a replacement rank is
+  spawned on a fresh fabric, every survivor rolls back to the same
+  snapshot, and all ranks meet at a two-phase rejoin barrier — the
+  solve finishes at full width, bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
 
 import os
-import queue
 import threading
 import time
-from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -69,152 +83,89 @@ from .resilience import (
     CheckpointStore,
     FailureRegistry,
     FaultPlan,
-    HaloCorruption,
-    HaloTimeout,
+    HealRejoin,
+    HeartbeatConfig,
+    HeartbeatLost,
+    HeartbeatMonitor,
+    RankDeclaredDead,
     RankFailure,
     ResilienceStats,
-    SealedMessage,
     WorldAborted,
-    plane_checksum,
+)
+from .transport import (
+    DEFAULT_JOIN_TIMEOUT,
+    DEFAULT_POLL_INTERVAL,
+    DEFAULT_TIMEOUT,
+    Channel,
+    Transport,
+    TransportConfig,
+    make_transport,
 )
 
 __all__ = ["DistributedMG", "RankComm", "World", "DEFAULT_TIMEOUT",
            "DEFAULT_JOIN_TIMEOUT", "DEFAULT_POLL_INTERVAL"]
 
-#: Default deadline for one blocking recv/barrier (seconds).
-DEFAULT_TIMEOUT = 60.0
-#: Default deadline for joining the whole world (seconds).
-DEFAULT_JOIN_TIMEOUT = 600.0
-#: Default granularity at which blocked operations poll the cancellation
-#: token (override per world with ``World(poll_interval=...)`` or
-#: globally with ``REPRO_SPMD_POLL_INTERVAL``).
-DEFAULT_POLL_INTERVAL = 0.05
-#: Pristine payloads kept per channel for checksum retransmission.
-_REPLAY_DEPTH = 8
 
-#: Sentinel flushed into every channel on abort so blocked receivers
-#: wake immediately instead of waiting out a poll interval.
-_POISON = object()
+class _Fabric:
+    """One generation of the world's communication fabric.
 
-
-def _env_timeout(name: str, fallback: float) -> float:
-    raw = os.environ.get(name)
-    if raw is None:
-        return fallback
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be a number, got {raw!r}") from None
-    if value <= 0:
-        raise ValueError(f"{name} must be positive, got {value!r}")
-    return value
-
-
-class _Channel:
-    """One-directional message link between two ranks.
-
-    Sends pass through the source rank's fault injector (if any); when
-    the world runs with halo checksums, pristine payloads are parked in
-    a bounded replay buffer so a corrupted delivery can be retransmitted.
+    Bundles the ring channels, the collective barrier and the allgather
+    slots so they swap *atomically* on an elastic heal: every operation
+    captures the fabric once (after its liveness check) and uses only
+    that object, so a stale thread can never write half into the old
+    fabric and half into the new one.
     """
 
-    def __init__(self, world: "World", src: int):
-        self.world = world
-        self.src = src
-        self._q: queue.Queue = queue.Queue()
-        self._seq = 0
-        self._replay: dict[int, object] = {}
-        self._lock = threading.Lock()
+    __slots__ = ("up", "down", "barrier", "gather_slots", "epoch")
 
-    def send(self, payload, op: str | None = None,
-             level: int | None = None) -> None:
-        w = self.world
-        checksum = plane_checksum(payload) if w.halo_checksums else None
-        with self._lock:
-            seq = self._seq
-            self._seq += 1
-            if w.halo_checksums:
-                self._replay[seq] = payload
-                for stale in [s for s in self._replay
-                              if s <= seq - _REPLAY_DEPTH]:
-                    del self._replay[stale]
-        delay = 0.0
-        injector = w.injector(self.src)
-        if injector is not None:
-            action, mutated, delay = injector.on_message(op, level, payload)
-            if action == "drop":
-                return
-            if action == "corrupt":
-                payload = mutated
-        if delay > 0.0:
-            time.sleep(delay)
-        w.stats.bump("sends")
-        self._q.put(SealedMessage(seq, payload, checksum, op, level, self.src))
+    def __init__(self, world: "World", epoch: int):
+        size = world.size
+        transport = world.transport
+        # ring links: up[r] carries messages r -> (r+1)%P,
+        #             down[r] carries messages r -> (r-1)%P.
+        self.up = [Channel(world, r, (r + 1) % size,
+                           transport.wire(r, (r + 1) % size, "up"))
+                   for r in range(size)]
+        self.down = [Channel(world, r, (r - 1) % size,
+                             transport.wire(r, (r - 1) % size, "down"))
+                     for r in range(size)]
+        self.barrier = threading.Barrier(size)
+        self.gather_slots: list = [None] * size
+        self.epoch = epoch
 
-    def _retransmit(self, seq: int):
-        with self._lock:
-            return self._replay.get(seq)
+    def poison(self) -> None:
+        """Wake every blocked participant (abort or heal begins)."""
+        self.barrier.abort()
+        for ch in (*self.up, *self.down):
+            ch.poison()
 
-    def recv(self, rank: int, op: str | None = None, level: int | None = None,
-             timeout: float | None = None):
-        """Blocking receive with cancellation, deadline and integrity.
+    def close(self) -> None:
+        for ch in (*self.up, *self.down):
+            ch.close()
 
-        Polls the world's cancellation token between short waits so a
-        peer failure surfaces as :class:`WorldAborted` in milliseconds;
-        a quiet deadline becomes :class:`HaloTimeout` (wrapping the raw
-        ``queue.Empty``); a checksum mismatch triggers bounded
-        retransmission before :class:`HaloCorruption` escalates.
 
-        Messages whose ``(op, level)`` tag differs from what this recv
-        is waiting for are discarded (MPI-style tag matching): a tag
-        mismatch means an earlier message on this link was lost, and
-        consuming the stray plane would silently desynchronise the
-        ring — starving into :class:`HaloTimeout` is the honest outcome.
-        """
-        w = self.world
-        timeout = w.timeout if timeout is None else timeout
-        deadline = time.monotonic() + timeout
-        while True:
-            w.check_abort(rank=rank, op=op, level=level)
-            remaining = deadline - time.monotonic()
-            try:
-                msg = self._q.get(timeout=min(w.poll_interval,
-                                              max(remaining, 0.001)))
-            except queue.Empty as exc:
-                if time.monotonic() >= deadline:
-                    raise HaloTimeout(rank, op=op, level=level, src=self.src,
-                                      timeout=timeout) from exc
-                continue
-            if msg is _POISON:
-                w.check_abort(rank=rank, op=op, level=level)
-                # Poison without an abort flag cannot happen in normal
-                # operation; treat it as an abort with no provenance.
-                raise WorldAborted(w.registry.failures(), observer=rank,
-                                   op=op, level=level)
-            if msg.op != op or msg.level != level:
-                w.stats.bump("tag_mismatches")
-                continue
-            return self._verified_payload(msg, rank)
+class _HealState:
+    """One in-flight elastic heal: epoch, dead rank, two-phase barriers.
 
-    def _verified_payload(self, msg: SealedMessage, rank: int):
-        w = self.world
-        if msg.checksum is None:
-            return msg.payload
-        payload = msg.payload
-        retries = 0
-        while plane_checksum(payload) != msg.checksum:
-            w.stats.bump("checksum_failures")
-            if retries >= w.halo_retries:
-                raise HaloCorruption(rank, level=msg.level, src=msg.src,
-                                     retries=retries)
-            pristine = self._retransmit(msg.seq)
-            if pristine is None:
-                raise HaloCorruption(rank, level=msg.level, src=msg.src,
-                                     retries=retries)
-            w.stats.bump("retransmits")
-            payload = pristine
-            retries += 1
-        return payload
+    Phase 1 ("quiesce") gathers all ``size`` participants — the
+    survivors plus the freshly spawned replacement; its barrier action
+    swaps in a new fabric while every rank is provably parked here, so
+    nobody can be mid-operation on the old one.  Between the phases each
+    rank restores its slab from the same complete checkpoint.  Phase 2
+    ("commit") proves every restore landed before anyone resumes; its
+    action publishes the heal as complete.
+    """
+
+    __slots__ = ("epoch", "rank", "failure", "phase1", "phase2")
+
+    def __init__(self, world: "World", epoch: int, failure: RankFailure):
+        self.epoch = epoch
+        self.rank = failure.rank
+        self.failure = failure
+        self.phase1 = threading.Barrier(world.size,
+                                        action=world._heal_reset)
+        self.phase2 = threading.Barrier(world.size,
+                                        action=world._heal_commit)
 
 
 class World:
@@ -241,38 +192,44 @@ class World:
         Verify a CRC-32 on every received halo plane.
     halo_retries:
         Retransmissions allowed per corrupted plane before abort.
+    transport:
+        ``"inproc"`` (default), ``"socket"``, or a ready
+        :class:`Transport` instance; ``None`` reads
+        ``REPRO_SPMD_TRANSPORT``.
+    config:
+        Optional :class:`TransportConfig`; the explicit keyword knobs
+        above override its fields, which override the environment.
+    heartbeat:
+        ``None`` (off unless ``REPRO_SPMD_HEARTBEAT`` is truthy),
+        ``True`` (defaults + env knobs), or a :class:`HeartbeatConfig`.
+        The monitor thread itself starts only on
+        :meth:`start_heartbeat` so bare test worlds spawn no threads.
     """
 
     def __init__(self, size: int, *, timeout: float | None = None,
                  join_timeout: float | None = None,
                  poll_interval: float | None = None,
                  fault_plan: FaultPlan | None = None,
-                 halo_checksums: bool = False, halo_retries: int = 2):
+                 halo_checksums: bool = False, halo_retries: int = 2,
+                 transport: str | Transport | None = "inproc",
+                 config: TransportConfig | None = None,
+                 heartbeat: HeartbeatConfig | bool | None = None):
         if size < 1:
             raise ValueError("world size must be >= 1")
         if halo_retries < 0:
             raise ValueError("halo_retries must be >= 0")
+        base = config if config is not None else TransportConfig()
+        if not isinstance(base, TransportConfig):
+            raise TypeError("config must be a TransportConfig")
+        self.config = base.override(timeout=timeout,
+                                    join_timeout=join_timeout,
+                                    poll_interval=poll_interval).resolved()
         self.size = size
-        self.timeout = (_env_timeout("REPRO_SPMD_TIMEOUT", DEFAULT_TIMEOUT)
-                        if timeout is None else float(timeout))
-        self.join_timeout = (
-            _env_timeout("REPRO_SPMD_JOIN_TIMEOUT", DEFAULT_JOIN_TIMEOUT)
-            if join_timeout is None else float(join_timeout))
-        self.poll_interval = (
-            _env_timeout("REPRO_SPMD_POLL_INTERVAL", DEFAULT_POLL_INTERVAL)
-            if poll_interval is None else float(poll_interval))
-        if self.timeout <= 0 or self.join_timeout <= 0:
-            raise ValueError("timeouts must be positive")
-        if self.poll_interval <= 0:
-            raise ValueError("poll_interval must be positive")
+        self.timeout = self.config.timeout
+        self.join_timeout = self.config.join_timeout
+        self.poll_interval = self.config.poll_interval
         self.halo_checksums = bool(halo_checksums)
         self.halo_retries = int(halo_retries)
-        # ring links: up[r] carries messages r -> (r+1)%P,
-        #             down[r] carries messages r -> (r-1)%P.
-        self._up = [_Channel(self, r) for r in range(size)]
-        self._down = [_Channel(self, r) for r in range(size)]
-        self._barrier = threading.Barrier(size)
-        self._gather_slots: list = [None] * size
         self.registry = FailureRegistry()
         self.cancel = CancellationToken()
         self.stats = ResilienceStats()
@@ -281,12 +238,135 @@ class World:
             else None
             for r in range(size)
         ]
+        # -- liveness ---------------------------------------------------
+        if heartbeat is None and os.environ.get(
+                "REPRO_SPMD_HEARTBEAT", "").lower() in ("1", "true", "yes"):
+            heartbeat = True
+        if heartbeat is True:
+            heartbeat = HeartbeatConfig.from_env()
+        self.heartbeat_config: HeartbeatConfig | None = heartbeat or None
+        self.liveness = (HeartbeatMonitor(size, self.heartbeat_config)
+                         if self.heartbeat_config is not None else None)
+        self._hb_thread: threading.Thread | None = None
+        self._hb_stop = threading.Event()
+        # -- elastic state ----------------------------------------------
+        self.heal_epoch = 0
+        self._heal: _HealState | None = None
+        self._heal_lock = threading.Lock()
+        self._incarnations = [0] * size
+        self._retired: set[int] = set()
+        #: Failures absorbed by a completed/attempted heal (they never
+        #: reach the registry, so a healed solve still returns normally).
+        self.healed: list[RankFailure] = []
+        #: Heal records, populated when an elastic supervisor attaches.
+        self.heal_log: list = []
+        self._elastic = None
+        # -- fabric -----------------------------------------------------
+        self.transport = make_transport(transport, self.config)
+        self.transport.open(size)
+        self._closed = False
+        self._close_lock = threading.Lock()
+        self._fabric = _Fabric(self, 0)
+
+    # Legacy attribute surface: the current fabric's parts.
+    @property
+    def _up(self) -> list[Channel]:
+        return self._fabric.up
+
+    @property
+    def _down(self) -> list[Channel]:
+        return self._fabric.down
+
+    @property
+    def _barrier(self) -> threading.Barrier:
+        return self._fabric.barrier
+
+    @property
+    def _gather_slots(self) -> list:
+        return self._fabric.gather_slots
 
     def comm(self, rank: int) -> "RankComm":
-        return RankComm(self, rank)
+        return RankComm(self, rank, incarnation=self._incarnations[rank])
 
     def injector(self, rank: int):
         return self._injectors[rank]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every transport resource and join service threads.
+
+        Runs on every exit path of :meth:`DistributedMG.solve`
+        (including mid-``recv`` aborts) and is idempotent; after it, the
+        transport reports zero open wires and no heartbeat/reader
+        threads remain.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._hb_stop.set()
+        t = self._hb_thread
+        if t is not None:
+            t.join(timeout=2.0)
+        self.transport.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "World":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- heartbeat ----------------------------------------------------------
+
+    def start_heartbeat(self) -> None:
+        """Start the liveness monitor thread (no-op without a config)."""
+        if self.liveness is None or self._hb_thread is not None:
+            return
+        self._hb_thread = threading.Thread(
+            target=self._hb_loop, name="spmd-heartbeat", daemon=True)
+        self._hb_thread.start()
+
+    def beat(self, rank: int) -> None:
+        if self.liveness is not None:
+            self.liveness.beat(rank)
+
+    def pause_beat(self, rank: int) -> None:
+        """Suspend liveness expectations while ``rank`` parks at a
+        collective (it cannot beat there, but it is not stalled — the
+        barrier's own deadline covers a genuine deadlock)."""
+        if self.liveness is not None:
+            self.liveness.pause(rank)
+
+    def resume_beat(self, rank: int) -> None:
+        if self.liveness is not None:
+            self.liveness.resume(rank)
+
+    def _hb_loop(self) -> None:
+        cfg = self.heartbeat_config
+        mon = self.liveness
+        while not self._hb_stop.wait(cfg.interval):
+            if self.cancel.is_set():
+                return
+            for rank, _old, new in mon.check():
+                if new == "suspect":
+                    self.stats.bump("suspects")
+                elif new == "alive":
+                    self.stats.bump("recoveries")
+                elif new == "dead":
+                    self.stats.bump("deaths")
+                    lost = HeartbeatLost(
+                        rank,
+                        silent_for=mon.silence(rank),
+                        dead_after=cfg.dead_after,
+                        beats=mon.beats(rank),
+                        phi=mon.phi(rank))
+                    self.rank_failed(RankFailure(rank, op="heartbeat",
+                                                 cause=lost))
 
     # -- failure handling ---------------------------------------------------
 
@@ -303,17 +383,20 @@ class World:
     def abort(self, failure: RankFailure | None = None) -> None:
         """Record ``failure`` and cancel the world.
 
-        Trips the cancellation token, breaks the barrier, and flushes a
-        poison pill into every channel so all blocked ranks wake at once.
-        Idempotent; concurrent failures all land in the registry.
+        Trips the cancellation token, breaks the barriers (the fabric's
+        and any in-flight heal's), and flushes a poison pill into every
+        channel so all blocked ranks wake at once.  Idempotent;
+        concurrent failures all land in the registry.
         """
         if failure is not None:
             self.registry.record(failure)
         if not self.cancel.is_set():
             self.cancel.cancel()
-            self._barrier.abort()
-            for ch in (*self._up, *self._down):
-                ch._q.put(_POISON)
+            heal = self._heal
+            if heal is not None:
+                heal.phase1.abort()
+                heal.phase2.abort()
+            self._fabric.poison()
 
     def check_abort(self, rank: int | None = None, op: str | None = None,
                     level: int | None = None) -> None:
@@ -321,32 +404,161 @@ class World:
             raise WorldAborted(self.registry.failures(), observer=rank,
                                op=op, level=level)
 
+    def rank_failed(self, failure: RankFailure) -> bool:
+        """Route one rank's primary failure.
 
-@dataclass
+        An attached elastic supervisor gets first refusal: if it can
+        heal (single-rank death, complete checkpoint, budget left), the
+        failure is absorbed (recorded in ``healed``, not the registry)
+        and the world lives on.  Otherwise this is a plain
+        :meth:`abort`.  Returns True when the failure was healed.
+        """
+        elastic = self._elastic
+        if elastic is not None:
+            try:
+                if elastic.consider(self, failure):
+                    return True
+            except Exception as exc:  # pragma: no cover - defensive
+                self.abort(RankFailure(failure.rank, op="heal",
+                                       cause=exc))
+                return False
+        self.abort(failure)
+        return False
+
+    # -- elastic healing ----------------------------------------------------
+
+    def attach_elastic(self, elastic) -> None:
+        """Attach a heal authority (a ``WorldSupervisor``)."""
+        self._elastic = elastic
+        self.heal_log = elastic.records
+
+    @property
+    def retired(self) -> frozenset[int]:
+        return frozenset(self._retired)
+
+    def retire(self, rank: int) -> None:
+        """``rank`` finished its program; no more beats, no healing it."""
+        self._retired.add(rank)
+        if self.liveness is not None:
+            self.liveness.retire(rank)
+
+    def incarnation(self, rank: int) -> int:
+        return self._incarnations[rank]
+
+    def is_current(self, rank: int, incarnation: int) -> bool:
+        return self._incarnations[rank] == incarnation
+
+    def begin_heal(self, failure: RankFailure) -> int | None:
+        """Open a heal epoch for ``failure.rank``; None if impossible.
+
+        Refuses when the world is already aborted/closed or another
+        heal is in flight (two concurrent deaths exceed what in-place
+        replacement can express — the caller falls back to abort and
+        the supervisor's ladder).  On success the old fabric is
+        poisoned so every survivor wakes into :class:`HealRejoin`.
+        """
+        with self._heal_lock:
+            if (self.cancel.is_set() or self._closed
+                    or self._heal is not None):
+                return None
+            epoch = self.heal_epoch + 1
+            self._incarnations[failure.rank] += 1
+            self.healed.append(failure)
+            state = _HealState(self, epoch, failure)
+            self._heal = state
+            self.heal_epoch = epoch
+        if self.liveness is not None:
+            self.liveness.reset(failure.rank)
+        self.stats.bump("heals")
+        self._fabric.poison()
+        return epoch
+
+    def _heal_reset(self) -> None:
+        """Phase-1 barrier action: swap in a fresh fabric.
+
+        Runs in exactly one thread while all ``size`` participants are
+        parked at the quiesce barrier, so no live rank can be
+        mid-operation on the old fabric; only stale threads still hold
+        it, and their sends hit closed wires (swallowed) while their
+        recvs wake into :class:`RankDeclaredDead`.
+        """
+        old = self._fabric
+        self._fabric = _Fabric(self, self.heal_epoch)
+        old.close()
+
+    def _heal_commit(self) -> None:
+        """Phase-2 barrier action: publish the heal as complete."""
+        with self._heal_lock:
+            state = self._heal
+            self._heal = None
+        self.stats.bump("heals_completed")
+        if self._elastic is not None and state is not None:
+            self._elastic.heal_completed(state.epoch)
+
+
 class RankComm:
-    """One rank's view of the world."""
+    """One rank's view of the world — one *incarnation* of one rank."""
 
-    world: World
-    rank: int
-    #: Current V-cycle iteration, maintained by the rank program for
-    #: failure provenance.
-    iteration: int | None = field(default=None, compare=False)
+    def __init__(self, world: World, rank: int, *, incarnation: int = 0,
+                 joining: bool = False):
+        self.world = world
+        self.rank = rank
+        #: Which incarnation of this rank we are.  A stale thread whose
+        #: incarnation the world has moved past must exit silently.
+        self.incarnation = incarnation
+        #: True for a freshly spawned replacement rank that still has to
+        #: pass the two-phase rejoin barrier before doing any work.
+        self.joining = joining
+        #: Current V-cycle iteration, maintained by the rank program for
+        #: failure provenance.
+        self.iteration: int | None = None
+        # Heal epoch this comm has rejoined up to; a world epoch beyond
+        # it means "roll back and rejoin".
+        self._epoch = world.heal_epoch
 
     @property
     def size(self) -> int:
         return self.world.size
 
+    def check(self, op: str | None = None, level: int | None = None) -> None:
+        """Liveness gate before every communication step.
+
+        Order matters: a world abort outranks everything; then a stale
+        incarnation must exit (never rejoin — its replacement already
+        did); then a pending heal epoch rolls a survivor back; and a
+        thread that passes all three publishes a heartbeat.
+        """
+        w = self.world
+        w.check_abort(rank=self.rank, op=op, level=level)
+        if not w.is_current(self.rank, self.incarnation):
+            raise RankDeclaredDead(self.rank, incarnation=self.incarnation)
+        if w.heal_epoch > self._epoch:
+            raise HealRejoin(w.heal_epoch)
+        w.beat(self.rank)
+
+    def _fab(self, op: str | None = None,
+             level: int | None = None) -> _Fabric:
+        """Liveness check, then capture the current fabric atomically."""
+        self.check(op=op, level=level)
+        return self.world._fabric
+
     def barrier(self, op: str = "barrier") -> None:
         w = self.world
-        w.check_abort(rank=self.rank, op=op)
+        fab = self._fab(op=op)
+        start = time.monotonic()
+        w.pause_beat(self.rank)
         try:
-            w._barrier.wait(timeout=w.timeout)
+            fab.barrier.wait(timeout=w.timeout)
         except threading.BrokenBarrierError as exc:
-            # Broken either by a world abort (peer failed: re-raise with
-            # full provenance) or by a genuine deadline expiry.
-            w.check_abort(rank=self.rank, op=op)
-            raise BarrierTimeout(self.rank, op=op,
-                                 timeout=w.timeout) from exc
+            # Broken by a world abort (peer failed: re-raise with full
+            # provenance), a heal epoch opening (roll back and rejoin),
+            # or a genuine deadline expiry.
+            self.check(op=op)
+            raise BarrierTimeout(self.rank, op=op, timeout=w.timeout,
+                                 elapsed=time.monotonic() - start,
+                                 failures=w.registry.failures()) from exc
+        finally:
+            w.resume_beat(self.rank)
 
     # -- ring halo exchange ---------------------------------------------------
 
@@ -355,14 +567,14 @@ class RankComm:
                        op: str = "halo-exchange", level: int | None = None):
         """Send boundary planes around the periodic ring; returns the
         (lower, upper) halo planes for this rank."""
-        w = self.world
         r, p = self.rank, self.size
         if p == 1:
             return last_interior, first_interior
-        w._up[r].send(last_interior, op=op, level=level)    # to r+1: lower halo
-        w._down[r].send(first_interior, op=op, level=level)  # to r-1: upper halo
-        lower = w._up[(r - 1) % p].recv(r, op=op, level=level)
-        upper = w._down[(r + 1) % p].recv(r, op=op, level=level)
+        fab = self._fab(op=op, level=level)
+        fab.up[r].send(last_interior, op=op, level=level)    # to r+1: lower halo
+        fab.down[r].send(first_interior, op=op, level=level)  # to r-1: upper halo
+        lower = fab.up[(r - 1) % p].recv(self, op=op, level=level)
+        upper = fab.down[(r + 1) % p].recv(self, op=op, level=level)
         return lower, upper
 
     # -- collectives ------------------------------------------------------------
@@ -370,16 +582,52 @@ class RankComm:
     def allgather(self, value, op: str = "allgather"):
         """Every rank contributes ``value``; all receive the rank-ordered
         list (two-phase with barriers; deterministic)."""
-        w = self.world
-        w._gather_slots[self.rank] = value
+        fab = self._fab(op=op)
+        fab.gather_slots[self.rank] = value
         self.barrier(op=op)
-        out = list(w._gather_slots)
+        out = list(fab.gather_slots)
         self.barrier(op=op)
         return out
 
     def allreduce_sum(self, value: float) -> float:
         parts = self.allgather(float(value), op="allreduce")
         return float(sum(parts))  # rank order: deterministic
+
+    # -- elastic rejoin ---------------------------------------------------------
+
+    def rejoin(self, restore) -> None:
+        """Meet the world at the two-phase heal barrier.
+
+        Phase 1 quiesces all ``size`` participants (fabric swap runs in
+        the barrier action); ``restore()`` then reloads this rank's
+        slabs from the agreed checkpoint; phase 2 proves every restore
+        landed before anyone resumes.  On success this comm is current
+        for the new epoch.
+        """
+        w = self.world
+        state = w._heal
+        if state is None:
+            w.check_abort(rank=self.rank, op="rejoin")
+            raise WorldAborted(w.registry.failures(), observer=self.rank,
+                               op="rejoin")
+        for op, bar in (("heal-quiesce", state.phase1),
+                        ("heal-commit", state.phase2)):
+            start = time.monotonic()
+            w.pause_beat(self.rank)
+            try:
+                bar.wait(timeout=w.timeout)
+            except threading.BrokenBarrierError as exc:
+                w.check_abort(rank=self.rank, op=op)
+                raise BarrierTimeout(
+                    self.rank, op=op, timeout=w.timeout,
+                    elapsed=time.monotonic() - start,
+                    failures=w.registry.failures()) from exc
+            finally:
+                w.resume_beat(self.rank)
+            if op == "heal-quiesce":
+                restore()
+        self._epoch = state.epoch
+        self.joining = False
 
 
 # ---------------------------------------------------------------------------
@@ -449,8 +697,12 @@ class DistributedMG:
     ``fault_plan`` injects deterministic chaos, ``halo_checksums`` (with
     ``halo_retries``) verifies halo integrity, and ``solve``'s
     ``checkpoint``/``restart`` arguments enable snapshot-and-resume.
+    ``transport``/``config`` pick and tune the communication substrate;
+    ``heartbeat`` enables proactive liveness detection; ``heal`` (a
+    :class:`~repro.runtime.supervisor.HealPolicy`, or an int heal
+    budget) enables elastic in-place rank replacement from checkpoint.
     After each ``solve`` the constructed :class:`World` stays readable
-    as ``last_world`` (stats, failure registry).
+    as ``last_world`` (stats, failure registry, heal log).
     """
 
     def __init__(self, nranks: int, *, timeout: float | None = None,
@@ -459,7 +711,11 @@ class DistributedMG:
                  fault_plan: FaultPlan | None = None,
                  halo_checksums: bool = False, halo_retries: int = 2,
                  kernels: str = "numpy", kernel_library=None,
-                 workspace: bool = False, monitor=None):
+                 workspace: bool = False, monitor=None,
+                 transport: str | Transport | None = "inproc",
+                 config: TransportConfig | None = None,
+                 heartbeat: HeartbeatConfig | bool | None = None,
+                 heal=None):
         if nranks < 1 or nranks & (nranks - 1):
             raise ValueError("nranks must be a power of two")
         if kernels not in ("numpy", "sac"):
@@ -474,6 +730,10 @@ class DistributedMG:
         self.fault_plan = fault_plan
         self.halo_checksums = halo_checksums
         self.halo_retries = halo_retries
+        self.transport = transport
+        self.config = config
+        self.heartbeat = heartbeat
+        self.heal = heal
         self.last_world: World | None = None
         # workspace=True: each rank gets a persistent scratch pool so
         # repeated solves run the timed section allocation-free.  Pooled
@@ -506,6 +766,16 @@ class DistributedMG:
     def _distributed(self, k: int) -> bool:
         return (1 << k) >= 2 * self.nranks
 
+    def _heal_policy(self):
+        """Normalize the ``heal`` knob to a HealPolicy or None."""
+        if self.heal is None:
+            return None
+        if isinstance(self.heal, int) and not isinstance(self.heal, bool):
+            from .supervisor.policy import HealPolicy
+
+            return HealPolicy(max_heals=self.heal)
+        return self.heal
+
     def solve(self, size_class: str | SizeClass, nit: int | None = None, *,
               checkpoint: CheckpointStore | None = None,
               checkpoint_every: int = 1,
@@ -524,46 +794,119 @@ class DistributedMG:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         iters = sc.nit if nit is None else nit
+        heal_policy = self._heal_policy()
+        if heal_policy is not None and heal_policy.max_heals > 0 \
+                and checkpoint is None:
+            # Healing restores from checkpoints; give the world an
+            # in-memory store when the caller did not bring one.
+            checkpoint = CheckpointStore()
         world = World(self.nranks, timeout=self.timeout,
                       join_timeout=self.join_timeout,
                       poll_interval=self.poll_interval,
                       fault_plan=self.fault_plan,
                       halo_checksums=self.halo_checksums,
-                      halo_retries=self.halo_retries)
+                      halo_retries=self.halo_retries,
+                      transport=self.transport,
+                      config=self.config,
+                      heartbeat=self.heartbeat)
         self.last_world = world
         results: list = [None] * self.nranks
-        threads = []
-        for r in range(self.nranks):
-            t = threading.Thread(
-                target=self._rank_main,
-                args=(world.comm(r), sc, iters, results, checkpoint,
-                      checkpoint_every, restart, on_iteration),
-                name=f"mg-rank-{r}",
-                daemon=True,
-            )
-            threads.append(t)
-            t.start()
-        deadline = time.monotonic() + world.join_timeout
-        for t in threads:
-            t.join(timeout=max(0.0, deadline - time.monotonic()))
-        stuck = [r for r, t in enumerate(threads) if t.is_alive()]
-        if stuck:
-            for r in stuck:
-                world.abort(RankFailure(
-                    r, op="join",
-                    cause=TimeoutError(
-                        f"rank thread still alive after "
-                        f"{world.join_timeout:g}s"),
-                ))
-            # Give the woken ranks a moment to unwind before reporting.
-            for t in threads:
-                t.join(timeout=1.0)
-        if world.registry:
-            raise world.registry.composite()
-        if any(res is None for res in results):
-            raise RuntimeError("an SPMD rank did not finish")
+        elastic = None
+        if heal_policy is not None and heal_policy.max_heals > 0:
+            from .supervisor.elastic import WorldSupervisor
+
+            elastic = WorldSupervisor(heal_policy, store=checkpoint)
+            elastic.spawner = self._make_spawner(
+                elastic, world, sc, iters, results, checkpoint,
+                checkpoint_every, on_iteration)
+            world.attach_elastic(elastic)
+        try:
+            pool: list[tuple[int, int, threading.Thread]] = []
+            for r in range(self.nranks):
+                t = threading.Thread(
+                    target=self._rank_main,
+                    args=(world.comm(r), sc, iters, results, checkpoint,
+                          checkpoint_every, restart, on_iteration),
+                    name=f"mg-rank-{r}",
+                    daemon=True,
+                )
+                pool.append((r, 0, t))
+                t.start()
+            world.start_heartbeat()
+            # Elastic worlds grow replacement threads mid-solve, so the
+            # join loop re-lists the living set each tick instead of
+            # walking a fixed list.  Stale incarnations (zombies that
+            # were declared dead and replaced, possibly still sleeping
+            # out a stall) are excluded: they exit on their own, cannot
+            # touch results, and must not make a healed solve look hung.
+            deadline = time.monotonic() + world.join_timeout
+            while True:
+                live = [(r, i, t)
+                        for r, i, t in self._all_threads(pool, elastic)
+                        if t.is_alive() and world.is_current(r, i)]
+                if not live:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                live[0][2].join(timeout=min(remaining, 0.2))
+            stuck = [(r, i, t)
+                     for r, i, t in self._all_threads(pool, elastic)
+                     if t.is_alive() and world.is_current(r, i)]
+            if stuck:
+                for r, _i, _t in stuck:
+                    world.abort(RankFailure(
+                        r, op="join",
+                        cause=TimeoutError(
+                            f"rank thread still alive after "
+                            f"{world.join_timeout:g}s"),
+                    ))
+                # Give the woken ranks a moment to unwind before reporting.
+                for _r, _i, t in stuck:
+                    t.join(timeout=1.0)
+            if world.registry:
+                raise world.registry.composite()
+            if any(res is None for res in results):
+                raise RuntimeError("an SPMD rank did not finish")
+        finally:
+            world.close()
         rnm2, rnmu, u_full, r_full = results[0]
         return MGResult(sc, rnm2, rnmu, u_full, r_full)
+
+    @staticmethod
+    def _all_threads(pool, elastic) -> list[tuple[int, int,
+                                                  threading.Thread]]:
+        threads = list(pool)
+        if elastic is not None:
+            threads.extend(elastic.threads())
+        return threads
+
+    def _make_spawner(self, elastic, world, sc, iters, results, store,
+                      every, on_iteration):
+        """Build the replacement-rank factory the heal authority calls."""
+
+        def spawn(rank: int, incarnation: int) -> threading.Thread:
+            if self.workspaces is not None:
+                # The dead incarnation (or a zombie of it) may still
+                # hold buffers from the old pool; give the replacement
+                # a fresh one so they can never race.
+                from repro.perf.workspace import Workspace
+
+                self.workspaces[rank] = Workspace(
+                    f"spmd-rank{rank}-i{incarnation}")
+            comm = RankComm(world, rank, incarnation=incarnation,
+                            joining=True)
+            t = threading.Thread(
+                target=self._rank_main,
+                args=(comm, sc, iters, results, store, every, False,
+                      on_iteration),
+                name=f"mg-rank-{rank}-i{incarnation}",
+                daemon=True,
+            )
+            t.start()
+            return t
+
+        return spawn
 
     # -- per-rank program -------------------------------------------------------
 
@@ -572,14 +915,22 @@ class DistributedMG:
                    every: int, restart: bool, on_iteration) -> None:
         world = comm.world
         try:
-            results[comm.rank] = self._run_rank(comm, sc, iters, store,
-                                                every, restart, on_iteration)
+            res = self._run_rank(comm, sc, iters, store, every, restart,
+                                 on_iteration)
+            if world.is_current(comm.rank, comm.incarnation):
+                results[comm.rank] = res
+                world.retire(comm.rank)
+        except RankDeclaredDead:
+            # We are a zombie: our rank was declared dead and replaced
+            # while we stalled.  Exit without touching anything.
+            return
         except WorldAborted:
             # A casualty of some other rank's recorded failure — don't
             # re-record, just leave the slot empty.
-            results[comm.rank] = None
+            return
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
-            results[comm.rank] = None
+            if not world.is_current(comm.rank, comm.incarnation):
+                return  # stale thread failing post-replacement: irrelevant
             if isinstance(exc, RankFailure):
                 failure = exc
             else:
@@ -590,7 +941,7 @@ class DistributedMG:
                     iteration=getattr(exc, "iteration", comm.iteration),
                     cause=exc,
                 )
-            world.abort(failure)
+            world.rank_failed(failure)
 
     def _plane_range(self, k: int, rank: int) -> tuple[int, int]:
         nz = 1 << k
@@ -600,11 +951,81 @@ class DistributedMG:
     def _run_rank(self, comm: RankComm, sc: SizeClass, iters: int,
                   store: CheckpointStore | None, every: int, restart: bool,
                   on_iteration=None):
+        lt = sc.lt
+        rank = comm.rank
+
+        # Replicated, deterministic setup; each rank keeps its slab.
+        v_full = zran3(sc.nx)
+        z0, nzl = self._plane_range(lt, rank)
+        v = _slab_from_full(v_full, z0, nzl)
+
+        u: np.ndarray | None = None
+        r0: np.ndarray | None = None
+        start_it = 0
+        if not comm.joining:
+            if restart:
+                latest = store.latest()
+                if latest is None:
+                    raise CheckpointError(
+                        "no complete checkpoint to restart from")
+                snapshot_ranks = store.world_size(latest)
+                if snapshot_ranks != self.nranks:
+                    raise CheckpointError(
+                        f"checkpoint {latest} was taken with "
+                        f"{snapshot_ranks} ranks; cannot restart with "
+                        f"{self.nranks}"
+                    )
+                state = store.restore(latest, rank)
+                u = np.array(state.u, copy=True)
+                r0 = np.array(state.r, copy=True)
+                start_it = latest
+            else:
+                u = np.zeros_like(v)
+
+        # Heal loop: a surviving rank unwinds to here on HealRejoin,
+        # restores the agreed snapshot at the two-phase barrier, and
+        # re-enters the iteration loop; a replacement rank (joining)
+        # takes the rejoin path immediately, before any work.
+        while True:
+            try:
+                if comm.joining:
+                    raise HealRejoin(comm.world.heal_epoch)
+                return self._rank_solve(comm, sc, iters, start_it, u, r0, v,
+                                        store, every, on_iteration)
+            except HealRejoin:
+                if store is None:
+                    raise CheckpointError(
+                        "heal rejoin requires a checkpoint store")
+                restored: dict = {}
+
+                def _restore() -> None:
+                    # Runs between the heal phases: every participant
+                    # reads the same complete snapshot (no commits can
+                    # land while the world is parked at the barriers).
+                    latest = store.latest()
+                    if latest is None:
+                        raise CheckpointError(
+                            "heal rejoin: no complete checkpoint")
+                    state = store.restore(latest, rank)
+                    restored["u"] = np.array(state.u, copy=True)
+                    restored["r"] = np.array(state.r, copy=True)
+                    restored["it"] = latest
+
+                comm.rejoin(_restore)
+                u = restored["u"]
+                r0 = restored["r"]
+                start_it = restored["it"]
+
+    def _rank_solve(self, comm: RankComm, sc: SizeClass, iters: int,
+                    start_it: int, u: np.ndarray, r0: np.ndarray | None,
+                    v: np.ndarray, store: CheckpointStore | None,
+                    every: int, on_iteration=None):
         a = A_COEFFS
         c = S_COEFFS_A if sc.smoother == "a" else S_COEFFS_B
         lt = sc.lt
         rank = comm.rank
-        injector = comm.world.injector(rank)
+        world = comm.world
+        injector = world.injector(rank)
         ws = self.workspaces[rank] if self.workspaces is not None else None
         mon = self.monitor if rank == 0 else None
 
@@ -615,40 +1036,27 @@ class DistributedMG:
             np.multiply(ri, ri, out=tmp)
             return float(np.sum(tmp))
 
-        # Replicated, deterministic setup; each rank keeps its slab.
-        v_full = zran3(sc.nx)
-        z0, nzl = self._plane_range(lt, rank)
-        v = _slab_from_full(v_full, z0, nzl)
-
         r_levels: dict[int, np.ndarray] = {}
-        start_it = 0
-        if restart:
-            latest = store.latest()
-            if latest is None:
-                raise CheckpointError("no complete checkpoint to restart from")
-            snapshot_ranks = store.world_size(latest)
-            if snapshot_ranks != self.nranks:
-                raise CheckpointError(
-                    f"checkpoint {latest} was taken with {snapshot_ranks} "
-                    f"ranks; cannot restart with {self.nranks}"
-                )
-            state = store.restore(latest, rank)
-            u = np.array(state.u, copy=True)
-            r_levels[lt] = np.array(state.r, copy=True)
-            start_it = latest
+        if r0 is not None:
+            r_levels[lt] = r0
         else:
-            u = np.zeros_like(v)
             r_levels[lt] = self._resid_dist(u, v, a, comm, ws, mon)
 
         for it in range(start_it, iters):
             comm.iteration = it
+            comm.check(op="iteration")
             if injector is not None:
                 injector.iteration_start(it)
+                # A slow-fault sleep (or any long stall) may have ended
+                # with this incarnation declared dead and replaced; a
+                # zombie must find out *before* it can touch the
+                # checkpoint store or the fabric.
+                comm.check(op="iteration")
             if store is not None and it % every == 0:
                 store.put(it, rank, u, r_levels[lt])
                 comm.barrier(op="checkpoint-commit")
                 store.commit(it, self.nranks)
-                comm.world.stats.bump("checkpoints")
+                world.stats.bump("checkpoints")
             self._v_cycle(u, v, r_levels, a, c, lt, comm, ws, mon)
             r_levels[lt] = self._resid_dist(u, v, a, comm, ws, mon)
             if on_iteration is not None:

@@ -6,11 +6,16 @@ structured post-mortem: retry-from-checkpoint with backoff, a
 graceful-degradation ladder (``distributed → threaded → serial``,
 ``sac → numpy``), a per-iteration numerical watchdog on the residual
 trajectory, and a circuit breaker over the SAC compile path.
+:class:`WorldSupervisor` adds elastic recovery *beneath* the ladder:
+with a :class:`HealPolicy` budget, a dead rank is replaced in place
+from checkpoint so the solve finishes at full width instead of
+demoting.
 
 See ``docs/SUPERVISOR.md``.
 """
 
 from .breaker import BreakerState, CompileCircuitBreaker
+from .elastic import HealRecord, WorldSupervisor
 from .errors import (
     DeadlineExceeded,
     NumericalDivergence,
@@ -19,6 +24,7 @@ from .errors import (
 )
 from .policy import (
     BreakerPolicy,
+    HealPolicy,
     RetryPolicy,
     Rung,
     SupervisorPolicy,
@@ -40,11 +46,14 @@ __all__ = [
     "RetryPolicy",
     "WatchdogPolicy",
     "BreakerPolicy",
+    "HealPolicy",
     "SupervisorPolicy",
     "default_ladder",
     "AttemptRecord",
     "DemotionRecord",
     "SolveReport",
+    "HealRecord",
+    "WorldSupervisor",
     "NumericalWatchdog",
     "SupervisedResult",
     "SupervisedSolver",

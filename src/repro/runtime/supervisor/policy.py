@@ -17,6 +17,7 @@ __all__ = [
     "RetryPolicy",
     "WatchdogPolicy",
     "BreakerPolicy",
+    "HealPolicy",
     "SupervisorPolicy",
     "default_ladder",
 ]
@@ -157,6 +158,27 @@ class BreakerPolicy:
 
 
 @dataclass(frozen=True)
+class HealPolicy:
+    """Elastic-world recovery budget: replace dead ranks in place.
+
+    Healing is tried *before* the degradation ladder demotes: a
+    single-rank death with a complete checkpoint spawns a replacement
+    rank on a fresh fabric instead of aborting the world, so the solve
+    finishes at full width.  ``max_heals`` bounds how many in-place
+    replacements one world may perform; anything beyond the budget (or
+    a second death while a heal is in flight) falls back to the normal
+    abort → retry → demote path.
+    """
+
+    #: In-place rank replacements allowed per world (0 disables).
+    max_heals: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_heals < 0:
+            raise ValueError("max_heals must be >= 0")
+
+
+@dataclass(frozen=True)
 class SupervisorPolicy:
     """Everything the supervisor needs to drive one solve."""
 
@@ -182,6 +204,16 @@ class SupervisorPolicy:
     #: Check ``MGResult.verified`` on full-length solves of classes with
     #: an official NPB value; an unverified result demotes the rung.
     verify: bool = True
+    #: Elastic healing on distributed rungs (None disables): replace a
+    #: dead rank from checkpoint *before* considering retry/demote.
+    heal: HealPolicy | None = None
+    #: Communication substrate for distributed rungs ("inproc" or
+    #: "socket"; see ``repro.runtime.transport``).
+    transport: str = "inproc"
+    #: Optional heartbeat liveness detection on distributed rungs
+    #: (``True`` = defaults + ``REPRO_SPMD_HEARTBEAT_*`` env knobs, or a
+    #: ``repro.runtime.resilience.HeartbeatConfig``).
+    heartbeat: object | None = None
 
     def __post_init__(self) -> None:
         if not self.ladder:
@@ -195,3 +227,5 @@ class SupervisorPolicy:
             raise ValueError("op_timeout must be positive")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.heal is not None and not isinstance(self.heal, HealPolicy):
+            raise TypeError("heal must be a HealPolicy or None")

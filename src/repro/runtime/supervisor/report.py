@@ -66,6 +66,10 @@ class SolveReport:
     watchdog_verdicts: list[str] = field(default_factory=list)
     #: Circuit-breaker transitions as ``(state, reason)``.
     breaker_events: list[tuple[str, str]] = field(default_factory=list)
+    #: Elastic heals performed across all attempts, as
+    #: :class:`~repro.runtime.supervisor.elastic.HealRecord` instances
+    #: (in-place rank replacements that kept the world at full width).
+    heals: list = field(default_factory=list)
     #: Retries-from-checkpoint performed (same-rung re-attempts).
     retries: int = 0
     #: Attempts that restarted from a complete checkpoint snapshot.
@@ -101,6 +105,7 @@ class SolveReport:
             "rungs_tried": self.rungs_tried,
             "attempts": [a.to_dict() for a in self.attempts],
             "demotions": [d.to_dict() for d in self.demotions],
+            "heals": [h.to_dict() for h in self.heals],
             "watchdog_verdicts": list(self.watchdog_verdicts),
             "breaker_events": [list(e) for e in self.breaker_events],
             "failure": self.failure,
@@ -128,6 +133,12 @@ class SolveReport:
             if rec.watchdog:
                 line += f" watchdog={rec.watchdog}"
             lines.append(line)
+        for heal in self.heals:
+            lines.append(
+                f"  heal epoch {heal.epoch}: rank {heal.rank} -> "
+                f"incarnation {heal.incarnation}, restored from iteration "
+                f"{heal.restored_from}"
+                + ("" if heal.completed else " (incomplete)"))
         for dem in self.demotions:
             lines.append(f"  demote {dem.from_rung} -> {dem.to_rung}: "
                          f"{dem.reason}")

@@ -214,7 +214,8 @@ class SupervisedSolver:
     def _run_rung(self, rung: Rung, sc: SizeClass, nit: int | None,
                   policy: SupervisorPolicy, store: CheckpointStore,
                   restart: bool, watchdog: NumericalWatchdog | None,
-                  deadline: float | None) -> MGResult:
+                  deadline: float | None,
+                  report: SolveReport | None = None) -> MGResult:
         on_iter = watchdog.observe if watchdog is not None else None
         lib = self._kernel_library() if rung.kernels == "sac" else None
         if rung.mode == "distributed":
@@ -229,10 +230,21 @@ class SupervisedSolver:
                                join_timeout=join_timeout,
                                poll_interval=policy.poll_interval,
                                fault_plan=self.fault_plan,
-                               kernels=rung.kernels, kernel_library=lib)
-            return mg.solve(sc, nit, checkpoint=store,
-                            checkpoint_every=policy.checkpoint_every,
-                            restart=restart, on_iteration=on_iter)
+                               kernels=rung.kernels, kernel_library=lib,
+                               transport=policy.transport,
+                               heartbeat=policy.heartbeat,
+                               heal=policy.heal)
+            try:
+                return mg.solve(sc, nit, checkpoint=store,
+                                checkpoint_every=policy.checkpoint_every,
+                                restart=restart, on_iteration=on_iter)
+            finally:
+                # Heals happen inside the world, beneath the ladder —
+                # surface them on the report even when the attempt died.
+                if report is not None:
+                    world = getattr(mg, "last_world", None)
+                    if world is not None:
+                        report.heals.extend(world.heal_log)
         if rung.mode == "threaded":
             mg = ParallelMG(rung.workers, kernels=rung.kernels,
                             kernel_library=lib)
@@ -332,7 +344,7 @@ class SupervisedSolver:
             try:
                 result = self._run_rung(rung, sc, nit, policy, store,
                                         restart_from is not None,
-                                        watchdog, deadline)
+                                        watchdog, deadline, report)
                 rec.elapsed = self._clock() - t0
                 if watchdog is not None and not np.all(np.isfinite(result.u)):
                     raise NumericalDivergence(

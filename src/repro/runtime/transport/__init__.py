@@ -1,0 +1,43 @@
+"""Pluggable communication substrates for the SPMD runtime.
+
+See :mod:`repro.runtime.transport.base` for the interface contract,
+:mod:`~.inproc` / :mod:`~.socket` for the two shipped implementations,
+and :mod:`~.channel` for the transport-agnostic tagged channel built
+on top.  docs/RESILIENCE.md has the narrative.
+"""
+
+from .base import (
+    DEFAULT_CONNECT_TIMEOUT,
+    DEFAULT_JOIN_TIMEOUT,
+    DEFAULT_POLL_INTERVAL,
+    DEFAULT_TIMEOUT,
+    POISON,
+    Transport,
+    TransportConfig,
+    TransportError,
+    Wire,
+    WireClosed,
+    make_transport,
+)
+from .channel import Channel
+from .inproc import InProcQueueWire, InProcTransport
+from .socket import LocalSocketTransport, SocketWire
+
+__all__ = [
+    "DEFAULT_CONNECT_TIMEOUT",
+    "DEFAULT_JOIN_TIMEOUT",
+    "DEFAULT_POLL_INTERVAL",
+    "DEFAULT_TIMEOUT",
+    "POISON",
+    "Channel",
+    "InProcQueueWire",
+    "InProcTransport",
+    "LocalSocketTransport",
+    "SocketWire",
+    "Transport",
+    "TransportConfig",
+    "TransportError",
+    "Wire",
+    "WireClosed",
+    "make_transport",
+]

@@ -1,0 +1,185 @@
+"""Tagged, checksummed, fault-injected channel over a raw :class:`Wire`.
+
+``Channel`` carries everything that used to live in ``_Channel`` in
+``spmd.py`` — MPI-style (op, level) tag matching, CRC-32 halo checksums
+with bounded replay-buffer retransmission, fault-injection hooks, and
+cancellation-aware blocking receives — but is now transport-agnostic:
+the same code runs over in-process queues and loopback TCP sockets.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+from ..resilience import (
+    HaloCorruption,
+    HaloTimeout,
+    SealedMessage,
+    WorldAborted,
+    plane_checksum,
+)
+from .base import POISON, Wire, WireClosed
+
+__all__ = ["Channel", "REPLAY_DEPTH"]
+
+#: Pristine payloads kept per channel for checksum retransmission.
+REPLAY_DEPTH = 8
+
+
+class Channel:
+    """One-directional tagged message link from ``src`` to ``dst``.
+
+    Sends pass through the source rank's fault injector (if any); when
+    the world runs with halo checksums, pristine payloads are parked in
+    a bounded replay buffer so a corrupted delivery can be retransmitted.
+
+    The channel remembers the world's heal epoch at construction: a
+    stale sender from a pre-heal fabric hitting its closed wire is
+    swallowed silently (the zombie is about to observe its own
+    replacement), while a closed-wire send on the *current* fabric is a
+    genuine bug and propagates.
+    """
+
+    def __init__(self, world, src: int, dst: int, wire: Wire):
+        self.world = world
+        self.src = src
+        self.dst = dst
+        self._wire = wire
+        self._seq = 0
+        self._replay: dict[int, object] = {}
+        self._lock = threading.Lock()
+        self._epoch = getattr(world, "heal_epoch", 0)
+
+    def send(self, payload, op: str | None = None,
+             level: int | None = None) -> None:
+        w = self.world
+        checksum = plane_checksum(payload) if w.halo_checksums else None
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            if w.halo_checksums:
+                self._replay[seq] = payload
+                for stale in [s for s in self._replay
+                              if s <= seq - REPLAY_DEPTH]:
+                    del self._replay[stale]
+        delay = 0.0
+        injector = w.injector(self.src)
+        if injector is not None:
+            action, mutated, delay = injector.on_message(op, level, payload)
+            if action == "drop":
+                return
+            if action == "corrupt":
+                payload = mutated
+        if delay > 0.0:
+            time.sleep(delay)
+        try:
+            self._wire.put(SealedMessage(seq, payload, checksum, op, level,
+                                         self.src))
+        except WireClosed:
+            # A send racing an abort or a heal's fabric swap: the sender
+            # is on its way out (it will observe the abort / heal epoch
+            # at its next check), so dropping the message is safe.  On a
+            # live fabric a closed wire is a real fault — propagate.
+            if w.aborted or getattr(w, "heal_epoch", 0) != self._epoch:
+                return
+            raise
+        w.stats.bump("sends")
+
+    def _retransmit(self, seq: int):
+        with self._lock:
+            return self._replay.get(seq)
+
+    def recv(self, waiter, op: str | None = None, level: int | None = None,
+             timeout: float | None = None):
+        """Blocking receive with cancellation, deadline and integrity.
+
+        ``waiter`` is either a bare rank number (legacy: only the
+        world's abort flag is polled between waits) or a ``RankComm``,
+        whose ``check`` additionally notices the rank's own replacement
+        and a pending heal epoch.  A quiet deadline becomes
+        :class:`HaloTimeout` (wrapping the raw ``queue.Empty``) carrying
+        the elapsed wall time and the failure registry's contents, so an
+        unnoticed peer death is diagnosable from the exception alone; a
+        checksum mismatch triggers bounded retransmission before
+        :class:`HaloCorruption` escalates.
+
+        Messages whose ``(op, level)`` tag differs from what this recv
+        is waiting for are discarded (MPI-style tag matching): a tag
+        mismatch means an earlier message on this link was lost, and
+        consuming the stray plane would silently desynchronise the
+        ring — starving into :class:`HaloTimeout` is the honest outcome.
+        """
+        w = self.world
+        if hasattr(waiter, "check"):
+            rank = waiter.rank
+
+            def check() -> None:
+                waiter.check(op=op, level=level)
+        else:
+            rank = waiter
+
+            def check() -> None:
+                w.check_abort(rank=rank, op=op, level=level)
+
+        timeout = w.timeout if timeout is None else timeout
+        start = time.monotonic()
+        deadline = start + timeout
+        while True:
+            check()
+            remaining = deadline - time.monotonic()
+            try:
+                msg = self._wire.get(timeout=min(w.poll_interval,
+                                                 max(remaining, 0.001)))
+            except queue.Empty as exc:
+                if time.monotonic() >= deadline:
+                    raise HaloTimeout(
+                        rank, op=op, level=level, src=self.src,
+                        timeout=timeout,
+                        elapsed=time.monotonic() - start,
+                        failures=w.registry.failures()) from exc
+                continue
+            if msg is POISON:
+                check()
+                # Poison without an abort flag cannot happen in normal
+                # operation; treat it as an abort with no provenance.
+                raise WorldAborted(w.registry.failures(), observer=rank,
+                                   op=op, level=level)
+            if msg.op != op or msg.level != level:
+                w.stats.bump("tag_mismatches")
+                continue
+            return self._verified_payload(msg, rank)
+
+    def _verified_payload(self, msg: SealedMessage, rank: int):
+        w = self.world
+        if msg.checksum is None:
+            return msg.payload
+        payload = msg.payload
+        retries = 0
+        while plane_checksum(payload) != msg.checksum:
+            w.stats.bump("checksum_failures")
+            if retries >= w.halo_retries:
+                raise HaloCorruption(rank, level=msg.level, src=msg.src,
+                                     retries=retries)
+            pristine = self._retransmit(msg.seq)
+            if pristine is None:
+                raise HaloCorruption(rank, level=msg.level, src=msg.src,
+                                     retries=retries)
+            w.stats.bump("retransmits")
+            payload = pristine
+            retries += 1
+        return payload
+
+    def probe(self) -> bool:
+        return self._wire.probe()
+
+    def poison(self) -> None:
+        self._wire.poison(POISON)
+
+    def close(self) -> None:
+        self._wire.close()
+
+    @property
+    def wire(self) -> Wire:
+        return self._wire

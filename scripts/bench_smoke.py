@@ -4,12 +4,15 @@
 Runs ``python -m repro.harness bench -c S --modes serial,threaded`` in a
 fresh interpreter, then validates the emitted ``BENCH_<n>.json``:
 
-* the document matches the ``repro.perf/bench/1`` schema,
-* every benched mode passed NPB verification,
+* the document matches the ``repro.perf/bench/2`` schema,
+  including the required ``problem`` descriptor
+  (name/family/boundary/cycle/smoother),
+* every benched mode passed verification (NPB verification for the
+  benchmark instance; converged-to-tolerance for PDE family members),
 * every benched mode ran the timed section allocation-free once the
   Workspace pool was warm (``steady_state_allocations == 0``).
 
-The JSON file is left in place (by default ``BENCH_5.json`` in the
+The JSON file is left in place (by default ``BENCH_8.json`` in the
 working directory) so the CI job can upload it as an artifact.  Exits
 non-zero with a diagnostic on any violation.  Usage:
 
@@ -33,13 +36,16 @@ def main() -> int:
                         help="comma-separated modes to bench "
                         "(default: serial,threaded)")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--problem", default="npb-mg",
+                        help="solver-family member to bench "
+                        "(default: npb-mg)")
     args = parser.parse_args()
 
     from repro.perf import CURRENT_BENCH_ID, bench_path, validate_bench_document
 
     out = args.out or bench_path(CURRENT_BENCH_ID)
     cmd = [sys.executable, "-m", "repro.harness", "bench",
-           "-c", "S", "--modes", args.modes,
+           "-c", "S", "--modes", args.modes, "--problem", args.problem,
            "-r", str(args.repeats), "--bench-out", out]
     print("$", " ".join(cmd))
     proc = subprocess.run(cmd, env=dict(os.environ))
@@ -50,6 +56,14 @@ def main() -> int:
         doc = json.load(fh)
 
     failures = list(validate_bench_document(doc))
+    problem = doc.get("problem")
+    if not isinstance(problem, dict) or not problem:
+        failures.append("document is missing the required 'problem' "
+                        "descriptor")
+    elif problem.get("name") != args.problem:
+        failures.append(f"problem descriptor names "
+                        f"{problem.get('name')!r}, expected "
+                        f"{args.problem!r}")
     modes = doc.get("modes", {})
     wanted = [m.strip() for m in args.modes.split(",") if m.strip()]
     for mode in wanted:
@@ -58,7 +72,7 @@ def main() -> int:
             continue
         entry = modes[mode]
         if not entry.get("verified"):
-            failures.append(f"{mode}: NPB verification failed")
+            failures.append(f"{mode}: verification failed")
         steady = entry.get("pool", {}).get("steady_state_allocations")
         if steady != 0:
             failures.append(f"{mode}: {steady} steady-state pool misses "
@@ -69,7 +83,8 @@ def main() -> int:
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print(f"OK: {out} valid ({', '.join(wanted)}; all verified, "
+    print(f"OK: {out} valid (problem={args.problem}; "
+          f"{', '.join(wanted)}; all verified, "
           "steady-state allocation-free)")
     return 0
 

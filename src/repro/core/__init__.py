@@ -1,7 +1,15 @@
 """Verified NAS MG core: grids, stencils, random stream, V-cycle solver."""
 
 from .classes import CLASSES, SizeClass, get_class
-from .grid import comm3, interior, make_grid, setup_periodic_border, zero3
+from .grid import (
+    comm3,
+    ghost_fill,
+    interior,
+    make_extended,
+    make_grid,
+    setup_periodic_border,
+    zero3,
+)
 from .mg import MGResult, interp_add, mg3P, psinv, resid, rprj3, solve
 from .norms import norm2u3
 from .randlc import RandlcState, power_mod, randlc, vranlc
@@ -16,6 +24,7 @@ from .stencils import (
     relax_buffered,
     relax_grouped,
     relax_naive,
+    relax_variable,
 )
 from .trace import Trace, TraceOp, synthesize_mg_trace
 from .zran3 import fill_random_grid, zran3
@@ -25,7 +34,9 @@ __all__ = [
     "SizeClass",
     "get_class",
     "comm3",
+    "ghost_fill",
     "interior",
+    "make_extended",
     "make_grid",
     "setup_periodic_border",
     "zero3",
@@ -51,6 +62,7 @@ __all__ = [
     "relax_buffered",
     "relax_grouped",
     "relax_naive",
+    "relax_variable",
     "Trace",
     "TraceOp",
     "synthesize_mg_trace",

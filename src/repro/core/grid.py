@@ -16,9 +16,11 @@ import numpy as np
 
 __all__ = [
     "make_grid",
+    "make_extended",
     "zero3",
     "interior",
     "comm3",
+    "ghost_fill",
     "setup_periodic_border",
     "grid_levels",
     "level_shape",
@@ -63,6 +65,63 @@ def comm3(u: np.ndarray) -> np.ndarray:
         src_lo[axis] = 1
         u[tuple(lo)] = u[tuple(src_hi)]
         u[tuple(hi)] = u[tuple(src_lo)]
+    return u
+
+
+def make_extended(m: int, ndim: int = 3, dtype=np.float64) -> np.ndarray:
+    """Allocate a zeroed rank-``ndim`` extended grid (``m`` owned points
+    per dimension plus one ghost layer per face)."""
+    if m < 2:
+        raise ValueError(f"grid interior must be >= 2 points, got {m}")
+    if ndim < 1:
+        raise ValueError(f"grid rank must be >= 1, got {ndim}")
+    return np.zeros((m + 2,) * ndim, dtype=dtype)
+
+
+def ghost_fill(u: np.ndarray, kind: str = "periodic",
+               value: float = 0.0) -> np.ndarray:
+    """Refresh the ghost layers of an extended array in place.
+
+    Rank-polymorphic generalisation of :func:`comm3`, dispatching on the
+    boundary ``kind``:
+
+    ``"periodic"``
+        ghost faces replicate the opposite interior face (exactly
+        :func:`comm3` on rank-3 arrays, including corner semantics).
+    ``"dirichlet"``
+        cell-centred physical boundary: the ghost cell mirrors the
+        adjacent interior cell through the boundary value so that
+        ``(ghost + interior) / 2 == value`` on the face.
+    ``"neumann"``
+        zero-flux mirror: the ghost cell copies the adjacent interior
+        cell, so the normal difference across the face vanishes.
+
+    Faces are filled sequentially per axis (last axis first, matching
+    ``comm3``); later axes read ghost values written by earlier ones,
+    which fixes the edge/corner semantics.  Returns ``u`` for chaining.
+    """
+    nd = u.ndim
+    for axis in range(nd - 1, -1, -1):
+        lo = [slice(None)] * nd
+        hi = [slice(None)] * nd
+        in_lo = [slice(None)] * nd
+        in_hi = [slice(None)] * nd
+        lo[axis] = 0
+        hi[axis] = -1
+        in_lo[axis] = 1
+        in_hi[axis] = -2
+        if kind == "periodic":
+            u[tuple(lo)] = u[tuple(in_hi)]
+            u[tuple(hi)] = u[tuple(in_lo)]
+        elif kind == "dirichlet":
+            u[tuple(lo)] = 2.0 * value - u[tuple(in_lo)]
+            u[tuple(hi)] = 2.0 * value - u[tuple(in_hi)]
+        elif kind == "neumann":
+            u[tuple(lo)] = u[tuple(in_lo)]
+            u[tuple(hi)] = u[tuple(in_hi)]
+        else:
+            raise ValueError(f"unknown boundary kind {kind!r} "
+                             "(choose periodic, dirichlet or neumann)")
     return u
 
 

@@ -19,7 +19,7 @@ import numpy as np
 from .classes import SizeClass, get_class
 from .grid import comm3, make_grid
 from .norms import norm2u3
-from .stencils import A_COEFFS, S_COEFFS_A, S_COEFFS_B
+from .stencils import A_COEFFS, P_COEFFS, Q_COEFFS, S_COEFFS_A, S_COEFFS_B
 from .trace import Trace
 from .zran3 import zran3
 
@@ -72,12 +72,16 @@ def _plane_sums_into(u: np.ndarray, u1: np.ndarray,
 
 def resid(u: np.ndarray, v: np.ndarray, a=A_COEFFS, trace: Trace | None = None,
           level: int = 0, *, out: np.ndarray | None = None, ws=None,
-          monitor=None) -> np.ndarray:
+          monitor=None, boundary=comm3) -> np.ndarray:
     """Residual ``r = v - A u`` on an extended grid, ghosts refreshed.
 
-    ``u`` and ``v`` must have valid periodic borders.  For the NPB
-    operator (``a1 == 0``) this reproduces the Fortran ``resid`` bit for
-    bit, including its omission of the zero coefficient.
+    ``u`` and ``v`` must have valid borders.  For the NPB operator
+    (``a1 == 0``) this reproduces the Fortran ``resid`` bit for bit,
+    including its omission of the zero coefficient.
+
+    ``boundary`` is the ghost-fill callable applied to the result (a
+    ``BoundarySpec.fill`` from :mod:`repro.pde`, say); the default is
+    the NPB periodic ``comm3``.
 
     ``out`` (or the workspace buffer used when ``ws`` is given) is fully
     overwritten — interior by the accumulation, ghosts by the trailing
@@ -111,7 +115,7 @@ def resid(u: np.ndarray, v: np.ndarray, a=A_COEFFS, trace: Trace | None = None,
     np.multiply(tmp, a[3], out=tmp)
     np.subtract(acc, tmp, out=acc)
     out[_C, _C, _C] = acc
-    comm3(out)
+    boundary(out)
     if trace is not None:
         n = u.shape[0] - 2
         trace.record("resid", level, n ** 3)
@@ -122,8 +126,10 @@ def resid(u: np.ndarray, v: np.ndarray, a=A_COEFFS, trace: Trace | None = None,
 
 
 def psinv(r: np.ndarray, u: np.ndarray, c, trace: Trace | None = None,
-          level: int = 0, *, ws=None, monitor=None) -> np.ndarray:
-    """Smoothing step ``u += S r`` in place, ghosts refreshed.
+          level: int = 0, *, ws=None, monitor=None,
+          boundary=comm3) -> np.ndarray:
+    """Smoothing step ``u += S r`` in place, ghosts refreshed via
+    ``boundary`` (default: periodic ``comm3``).
 
     Bit-exact against NPB's ``psinv`` for its coefficient sets
     (``c3 == 0``); the ``c3`` term is included for generic stencils.
@@ -152,7 +158,7 @@ def psinv(r: np.ndarray, u: np.ndarray, c, trace: Trace | None = None,
         np.multiply(tmp, c[3], out=tmp)
         np.add(acc, tmp, out=acc)
     u[_C, _C, _C] = acc
-    comm3(u)
+    boundary(u)
     if trace is not None:
         n = u.shape[0] - 2
         trace.record("psinv", level, n ** 3)
@@ -163,19 +169,24 @@ def psinv(r: np.ndarray, u: np.ndarray, c, trace: Trace | None = None,
 
 
 def rprj3(r: np.ndarray, trace: Trace | None = None, level: int = 0, *,
-          out: np.ndarray | None = None, ws=None, monitor=None) -> np.ndarray:
+          out: np.ndarray | None = None, ws=None, monitor=None,
+          p=P_COEFFS, boundary=comm3) -> np.ndarray:
     """Project a fine residual onto the next coarser grid (NPB ``rprj3``).
 
-    Full weighting: coefficient 1/2 for the (fine) center, 1/4 / 1/8 /
-    1/16 for face/edge/corner neighbours.  Expression order follows the
-    Fortran source exactly (the ``x1``/``y1`` shared buffers at odd fine
-    x positions, then the four-class combination), so results are
-    bit-identical to NPB 2.3.
+    Full weighting with the distance-class coefficients ``p`` (a
+    ``StencilSpec.restrict_coeffs`` 4-vector): 1/2 for the (fine)
+    center, 1/4 / 1/8 / 1/16 for face/edge/corner neighbours by
+    default.  Expression order follows the Fortran source exactly (the
+    ``x1``/``y1`` shared buffers at odd fine x positions, then the
+    four-class combination), so default results are bit-identical to
+    NPB 2.3.  ``boundary`` refreshes the coarse ghosts (default:
+    periodic ``comm3``).
 
     ``out`` (or the pooled buffer when ``ws`` is given) is fully
-    overwritten — interior here, ghosts by ``comm3``.
+    overwritten — interior here, ghosts by the boundary fill.
     """
     t0 = time.perf_counter() if monitor is not None else 0.0
+    p = tuple(float(x) for x in p)
     nf = r.shape[0] - 2
     if nf < 4 or nf % 2:
         raise ValueError(f"cannot project a grid with interior {nf}")
@@ -209,24 +220,24 @@ def rprj3(r: np.ndarray, trace: Trace | None = None, level: int = 0, *,
 
     acc = _scratch(ws, "rprj3.acc", (mh, mh, mh))
     tmp = _scratch(ws, "rprj3.tmp", (mh, mh, mh))
-    np.multiply(r[c0, c1, cx], 0.5, out=acc)
+    np.multiply(r[c0, c1, cx], p[0], out=acc)
     np.add(r[c0, c1, mx], r[c0, c1, px], out=tmp)
     np.add(tmp, x2, out=tmp)
-    np.multiply(tmp, 0.25, out=tmp)
+    np.multiply(tmp, p[1], out=tmp)
     np.add(acc, tmp, out=acc)
     np.add(x1[:, :, :-1], x1[:, :, 1:], out=tmp)
     np.add(tmp, y2, out=tmp)
-    np.multiply(tmp, 0.125, out=tmp)
+    np.multiply(tmp, p[2], out=tmp)
     np.add(acc, tmp, out=acc)
     np.add(y1[:, :, :-1], y1[:, :, 1:], out=tmp)
-    np.multiply(tmp, 0.0625, out=tmp)
+    np.multiply(tmp, p[3], out=tmp)
     np.add(acc, tmp, out=acc)
 
     if out is None:
         out = make_grid(mh) if ws is None else ws.get("rprj3.out",
                                                       (mh + 2,) * 3)
     out[1:-1, 1:-1, 1:-1] = acc
-    comm3(out)
+    boundary(out)
     if trace is not None:
         trace.record("rprj3", level, mh ** 3)
         trace.record("comm3", level, mh ** 3)
@@ -236,16 +247,21 @@ def rprj3(r: np.ndarray, trace: Trace | None = None, level: int = 0, *,
 
 
 def interp_add(z: np.ndarray, u: np.ndarray, trace: Trace | None = None,
-               level: int = 0, *, ws=None, monitor=None) -> np.ndarray:
+               level: int = 0, *, ws=None, monitor=None,
+               q=Q_COEFFS) -> np.ndarray:
     """Add the trilinear prolongation of coarse ``z`` into fine ``u``.
 
-    Writes the whole fine extent including ghost cells; because ``z`` has
-    valid periodic borders the result's borders come out periodic too,
-    exactly as in the serial NPB ``interp`` (which needs no trailing
-    ``comm3``).  The ``z1``/``z2``/``z3`` buffer sums follow the Fortran
-    order term by term, so the update is bit-identical to NPB 2.3.
+    ``q`` holds the distance-class prolongation weights (a
+    ``StencilSpec.prolong_coeffs`` 4-vector; NPB's trilinear
+    1 / 1/2 / 1/4 / 1/8 by default).  Writes the whole fine extent
+    including ghost cells; because ``z`` has valid periodic borders the
+    result's borders come out periodic too, exactly as in the serial
+    NPB ``interp`` (which needs no trailing ``comm3``).  The
+    ``z1``/``z2``/``z3`` buffer sums follow the Fortran order term by
+    term, so the default update is bit-identical to NPB 2.3.
     """
     t0 = time.perf_counter() if monitor is not None else 0.0
+    q = tuple(float(x) for x in q)
     m = z.shape[0] - 2
     nf = u.shape[0] - 2
     if nf != 2 * m:
@@ -265,24 +281,28 @@ def interp_add(z: np.ndarray, u: np.ndarray, trace: Trace | None = None,
     E = slice(0, n - 1, 2)  # fine 0-based even targets (Fortran 2i-1)
     O = slice(1, n, 2)      # fine 0-based odd targets  (Fortran 2i)
     tmp = _scratch(ws, "interp.tmp", (m + 1, m + 1, m + 1))
-    u[E, E, E] += z[L, L, L]
+    if q[0] == 1.0:
+        u[E, E, E] += z[L, L, L]
+    else:
+        np.multiply(z[L, L, L], q[0], out=tmp)
+        u[E, E, E] += tmp
     np.add(z[L, L, H], z[L, L, L], out=tmp)
-    np.multiply(tmp, 0.5, out=tmp)
+    np.multiply(tmp, q[1], out=tmp)
     u[E, E, O] += tmp
-    np.multiply(z1[:, :, :-1], 0.5, out=tmp)
+    np.multiply(z1[:, :, :-1], q[1], out=tmp)
     u[E, O, E] += tmp
     np.add(z1[:, :, :-1], z1[:, :, 1:], out=tmp)
-    np.multiply(tmp, 0.25, out=tmp)
+    np.multiply(tmp, q[2], out=tmp)
     u[E, O, O] += tmp
-    np.multiply(z2[:, :, :-1], 0.5, out=tmp)
+    np.multiply(z2[:, :, :-1], q[1], out=tmp)
     u[O, E, E] += tmp
     np.add(z2[:, :, :-1], z2[:, :, 1:], out=tmp)
-    np.multiply(tmp, 0.25, out=tmp)
+    np.multiply(tmp, q[2], out=tmp)
     u[O, E, O] += tmp
-    np.multiply(z3[:, :, :-1], 0.25, out=tmp)
+    np.multiply(z3[:, :, :-1], q[2], out=tmp)
     u[O, O, E] += tmp
     np.add(z3[:, :, :-1], z3[:, :, 1:], out=tmp)
-    np.multiply(tmp, 0.125, out=tmp)
+    np.multiply(tmp, q[3], out=tmp)
     u[O, O, O] += tmp
     if trace is not None:
         trace.record("interp", level, nf ** 3)
@@ -293,8 +313,13 @@ def interp_add(z: np.ndarray, u: np.ndarray, trace: Trace | None = None,
 
 def mg3P(u: np.ndarray, v: np.ndarray, r_levels: dict[int, np.ndarray],
          a, c, lt: int, lb: int = 1, trace: Trace | None = None, *,
-         ws=None, monitor=None) -> None:
+         ws=None, monitor=None, p=P_COEFFS, q=Q_COEFFS,
+         boundary=comm3) -> None:
     """One V-cycle (NPB ``mg3P``), updating ``u`` in place.
+
+    Generic-family hooks: ``p``/``q`` are the restriction/prolongation
+    class 4-vectors (``StencilSpec`` coefficients) and ``boundary`` the
+    ghost-fill callable; the defaults are exactly the NPB instance.
 
     ``r_levels[lt]`` holds the current finest residual on entry; levels
     below are scratch storage owned by the caller (their contents are
@@ -312,7 +337,7 @@ def mg3P(u: np.ndarray, v: np.ndarray, r_levels: dict[int, np.ndarray],
     for k in range(lt, lb, -1):
         r_levels[k - 1] = rprj3(r_levels[k], trace, level=k - 1,
                                 out=r_levels.get(k - 1), ws=ws,
-                                monitor=monitor)
+                                monitor=monitor, p=p, boundary=boundary)
     # Coarsest grid: one smoothing step from a zero guess.
     if ws is None:
         uk = make_grid(1 << lb)
@@ -320,7 +345,8 @@ def mg3P(u: np.ndarray, v: np.ndarray, r_levels: dict[int, np.ndarray],
         uk = ws.zeros("mg3P.u", ((1 << lb) + 2,) * 3)
     if trace is not None:
         trace.record("zero3", lb, (1 << lb) ** 3)
-    psinv(r_levels[lb], uk, c, trace, level=lb, ws=ws, monitor=monitor)
+    psinv(r_levels[lb], uk, c, trace, level=lb, ws=ws, monitor=monitor,
+          boundary=boundary)
     u_levels[lb] = uk
     # Up cycle.
     for k in range(lb + 1, lt):
@@ -331,18 +357,21 @@ def mg3P(u: np.ndarray, v: np.ndarray, r_levels: dict[int, np.ndarray],
         if trace is not None:
             trace.record("zero3", k, (1 << k) ** 3)
         interp_add(u_levels[k - 1], uk, trace, level=k, ws=ws,
-                   monitor=monitor)
+                   monitor=monitor, q=q)
         r_levels[k] = resid(uk, r_levels[k], a, trace, level=k,
                             out=r_levels[k] if ws is not None else None,
-                            ws=ws, monitor=monitor)
-        psinv(r_levels[k], uk, c, trace, level=k, ws=ws, monitor=monitor)
+                            ws=ws, monitor=monitor, boundary=boundary)
+        psinv(r_levels[k], uk, c, trace, level=k, ws=ws, monitor=monitor,
+              boundary=boundary)
         u_levels[k] = uk
     # Finest grid: correct the solution itself.
-    interp_add(u_levels[lt - 1], u, trace, level=lt, ws=ws, monitor=monitor)
+    interp_add(u_levels[lt - 1], u, trace, level=lt, ws=ws, monitor=monitor,
+               q=q)
     r_levels[lt] = resid(u, v, a, trace, level=lt,
                          out=r_levels[lt] if ws is not None else None,
-                         ws=ws, monitor=monitor)
-    psinv(r_levels[lt], u, c, trace, level=lt, ws=ws, monitor=monitor)
+                         ws=ws, monitor=monitor, boundary=boundary)
+    psinv(r_levels[lt], u, c, trace, level=lt, ws=ws, monitor=monitor,
+          boundary=boundary)
 
 
 @dataclass

@@ -63,6 +63,7 @@ __all__ = [
     "relax_naive",
     "relax_grouped",
     "relax_buffered",
+    "relax_variable",
     "OpCount",
     "op_counts",
 ]
@@ -288,6 +289,45 @@ def relax_buffered(u: np.ndarray, c, out: np.ndarray | None = None, *,
     if c[3] != 0.0:
         np.add(t2[:, :, M], t2[:, :, P], out=tmp)
         np.multiply(tmp, c[3], out=tmp)
+        np.add(acc, tmp, out=acc)
+    out[1:-1, 1:-1, 1:-1] = acc
+    return out
+
+
+def relax_variable(u: np.ndarray, cfields, out: np.ndarray | None = None,
+                   *, ws=None) -> np.ndarray:
+    """Apply a *variable-coefficient* class stencil (per-point 4-vector).
+
+    ``cfields`` holds four extended-shape arrays ``(c0, c1, c2, c3)``;
+    the coefficient of every neighbour is looked up at the **centre**
+    point and its distance class, so the interior result is::
+
+        out[p] = sum_cls cfields[cls][p] * sum_{|o|_1 == cls} u[p + o]
+
+    This is the isotropic variable-coefficient member of the stencil
+    taxonomy (``StencilSpec(kind="variable")``) and the exact numpy twin
+    of the SAC ``VarRelaxKernel`` WITH-loop.  Same ghost/``out=``/``ws``
+    contract as the constant-coefficient kernels.
+    """
+    cfields = tuple(np.asarray(cf) for cf in cfields)
+    if len(cfields) != 4:
+        raise ValueError(f"expected 4 coefficient fields, got {len(cfields)}")
+    for cf in cfields:
+        if cf.shape != u.shape:
+            raise ValueError(
+                f"coefficient field shape {cf.shape} does not match the "
+                f"extended grid shape {u.shape}")
+    out = _prepare_out("relax_variable", u, out, ws)
+    m = tuple(n - 2 for n in u.shape)
+    acc = _scratch(ws, "relax.acc", m)
+    group = _scratch(ws, "relax.group", m)
+    tmp = _scratch(ws, "relax.tmp", m)
+    acc.fill(0.0)
+    for cls, offs in enumerate(offsets_by_class()):
+        group.fill(0.0)
+        for o in offs:
+            np.add(group, _shift(u, *o), out=group)
+        np.multiply(group, cfields[cls][1:-1, 1:-1, 1:-1], out=tmp)
         np.add(acc, tmp, out=acc)
     out[1:-1, 1:-1, 1:-1] = acc
     return out

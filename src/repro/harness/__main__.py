@@ -9,7 +9,12 @@
     python -m repro.harness verify -c S    # NPB verification run
     python -m repro.harness supervised     # self-healing supervised solve
     python -m repro.harness bench -c S     # perf trajectory point (BENCH_*.json)
+    python -m repro.harness solve --problem heat2d   # any family member
     python -m repro.harness all
+
+``--problem`` selects the solver-family member (see
+``docs/WORKLOADS.md``); the default ``npb-mg`` is the benchmark itself,
+so existing invocations behave exactly as before.
 """
 
 from __future__ import annotations
@@ -56,7 +61,8 @@ def main(argv: list[str] | None = None) -> int:
         "Benchmark MG in SAC' (IPPS 2002).",
     )
     known = sorted(_SIMPLE) + ["measure", "ablation", "verify",
-                               "npb", "timers", "supervised", "bench", "all"]
+                               "npb", "timers", "supervised", "bench",
+                               "solve", "all"]
     parser.add_argument(
         "commands",
         nargs="*",
@@ -92,6 +98,15 @@ def main(argv: list[str] | None = None) -> int:
         "(default: BENCH_<current>.json in the working directory)",
     )
     parser.add_argument(
+        "--problem", default="npb-mg",
+        help="solver-family member for solve/bench/supervised "
+        "(default: npb-mg, the benchmark itself; see docs/WORKLOADS.md)",
+    )
+    parser.add_argument(
+        "--nthreads", type=int, default=4,
+        help="worker threads for threaded solve/bench modes (default: 4)",
+    )
+    parser.add_argument(
         "--transport", choices=["inproc", "socket"], default="inproc",
         help="communication substrate for the supervised command's "
         "distributed rungs (default: inproc)",
@@ -102,6 +117,11 @@ def main(argv: list[str] | None = None) -> int:
         "up to N dead ranks in place from checkpoint before demoting",
     )
     args = parser.parse_args(argv)
+    from repro.pde import PROBLEMS
+
+    if args.problem not in PROBLEMS:
+        parser.error(f"unknown problem {args.problem!r} "
+                     f"(choose from {', '.join(sorted(PROBLEMS))})")
     bad = [c for c in args.commands if c not in known]
     if bad:
         parser.error(f"invalid command(s) {', '.join(bad)} "
@@ -155,17 +175,41 @@ def main(argv: list[str] | None = None) -> int:
             print(format_npb_report(rep))
         elif cmd == "verify":
             status |= _run_verify(args.size_class)
+        elif cmd == "solve":
+            from repro.pde import solve_problem
+
+            modes = tuple(m.strip() for m in args.modes.split(",")
+                          if m.strip())
+            collected[cmd] = {}
+            for mode in modes:
+                res = solve_problem(args.problem, args.size_class,
+                                    mode=mode, nthreads=args.nthreads)
+                ok = bool(res.verified)
+                status |= 0 if ok else 1
+                collected[cmd][mode] = {
+                    "problem": args.problem, "nx": res.nx,
+                    "iterations": getattr(res, "iterations", None),
+                    "rnm2": res.rnm2, "verified": ok,
+                }
+                its = getattr(res, "iterations", None)
+                its_txt = f"{its} cycles, " if its is not None else ""
+                print(f"  {args.problem} [{mode:<8}] {its_txt}"
+                      f"rnm2 = {res.rnm2:.6e}  "
+                      f"[{'VERIFIED' if ok else 'FAILED'}]")
         elif cmd == "bench":
             from repro.perf import bench_document, run_bench, write_bench
 
             modes = tuple(m.strip() for m in args.modes.split(",")
                           if m.strip())
             reports = run_bench(args.size_class, modes=modes,
-                                repeats=args.repeats)
+                                repeats=args.repeats,
+                                nthreads=args.nthreads,
+                                problem=args.problem)
             doc = bench_document(reports)
             path = write_bench(doc, args.bench_out)
             collected[cmd] = doc
-            print(f"perf trajectory point, class {doc['class']} "
+            print(f"perf trajectory point, class {doc['class']}, "
+                  f"problem {doc['problem']['name']} "
                   f"(rev {doc['git_rev']}"
                   f"{', dirty' if doc['dirty'] else ''}):")
             hdr = (f"  {'mode':<12} {'seconds':>9} {'mop/s':>9} "
@@ -199,7 +243,8 @@ def main(argv: list[str] | None = None) -> int:
             )
             try:
                 res = SupervisedSolver().solve(args.size_class,
-                                               policy=policy)
+                                               policy=policy,
+                                               problem=args.problem)
                 rep = res.report
             except SupervisionFailed as exc:
                 rep = exc.report

@@ -1,0 +1,50 @@
+"""repro.pde — the problem-parameterized stencil/PDE solver family.
+
+The NPB MG benchmark is one member of the family this package names:
+frozen specs (:class:`StencilSpec`, :class:`BoundarySpec`,
+:class:`SmootherSpec`, :class:`CycleSpec`, :class:`ProblemSpec`), a
+rank-polymorphic cell-centred multigrid solver (:class:`PDESolver`),
+and a registry of concrete workloads (:data:`PROBLEMS`,
+:func:`solve_problem`).  See ``docs/WORKLOADS.md``.
+"""
+
+from .cycles import PDESolver, build_operator
+from .operators import FaceOperator, cell_centers, face_points
+from .smoothers import Smoother, parity_masks
+from .specs import (
+    BoundarySpec,
+    CycleSpec,
+    ProblemSpec,
+    SmootherSpec,
+    StencilSpec,
+)
+from .transfer import prolong_cc, restrict_cc
+from .workloads import (
+    PDEResult,
+    PROBLEMS,
+    Workload,
+    get_workload,
+    solve_problem,
+)
+
+__all__ = [
+    "StencilSpec",
+    "BoundarySpec",
+    "SmootherSpec",
+    "CycleSpec",
+    "ProblemSpec",
+    "FaceOperator",
+    "cell_centers",
+    "face_points",
+    "Smoother",
+    "parity_masks",
+    "PDESolver",
+    "build_operator",
+    "prolong_cc",
+    "restrict_cc",
+    "PDEResult",
+    "Workload",
+    "PROBLEMS",
+    "get_workload",
+    "solve_problem",
+]

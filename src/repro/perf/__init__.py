@@ -13,10 +13,12 @@ from .bench import run_bench
 from .instrument import (
     BENCH_SCHEMA,
     CURRENT_BENCH_ID,
+    PROBLEM_KEYS,
     PerfMonitor,
     PerfReport,
     bench_document,
     bench_path,
+    default_problem,
     git_rev,
     mop_per_second,
     validate_bench_document,
@@ -27,12 +29,14 @@ from .workspace import Workspace, WorkspaceCounters
 __all__ = [
     "BENCH_SCHEMA",
     "CURRENT_BENCH_ID",
+    "PROBLEM_KEYS",
     "PerfMonitor",
     "PerfReport",
     "Workspace",
     "WorkspaceCounters",
     "bench_document",
     "bench_path",
+    "default_problem",
     "git_rev",
     "mop_per_second",
     "run_bench",

@@ -8,6 +8,12 @@ best-of-``repeats`` (NPB convention); the pool accounting comes from the
 last repeat, whose ``steady_state_allocations`` (pool misses after the
 first V-cycle iteration) must be zero — that is the allocation-free
 claim CI asserts via ``scripts/bench_smoke.py``.
+
+``problem`` selects the solver-family member (default the NPB
+instance).  PDE members run through :func:`repro.pde.solve_problem`
+(serial/threaded); their reports carry ``mop_s = 0`` — the NPB flop
+convention does not describe their operators — and ``verified`` means
+converged-to-tolerance rather than NPB-verified.
 """
 
 from __future__ import annotations
@@ -33,8 +39,14 @@ def _pool_stats(ws: Workspace, steady_state: int) -> dict:
     }
 
 
+def _npb_problem() -> dict:
+    from repro.pde import get_workload
+
+    return get_workload("npb-mg").spec.describe()
+
+
 def _bench_serial(sc, nit: int, repeats: int) -> PerfReport:
-    ws = Workspace("bench-serial")
+    ws = Workspace("bench-serial", problem="npb-mg")
     best = float("inf")
     best_monitor = PerfMonitor()
     result = None
@@ -56,13 +68,14 @@ def _bench_serial(sc, nit: int, repeats: int) -> PerfReport:
         mop_s=mop_per_second(sc.nx, nit, best),
         pool=_pool_stats(ws, steady),
         rnm2=result.rnm2, verified=result.verified,
+        problem=_npb_problem(),
     )
 
 
 def _bench_threaded(sc, nit: int, repeats: int, nthreads: int) -> PerfReport:
     from repro.runtime.parallel_mg import ParallelMG
 
-    ws = Workspace("bench-threaded")
+    ws = Workspace("bench-threaded", problem="npb-mg")
     solver = ParallelMG(nthreads, workspace=ws)
     best = float("inf")
     best_monitor = PerfMonitor()
@@ -89,6 +102,7 @@ def _bench_threaded(sc, nit: int, repeats: int, nthreads: int) -> PerfReport:
         pool=_pool_stats(ws, steady),
         rnm2=result.rnm2, verified=result.verified,
         extra={"nthreads": nthreads},
+        problem=_npb_problem(),
     )
 
 
@@ -125,13 +139,63 @@ def _bench_distributed(sc, nit: int, repeats: int, nranks: int) -> PerfReport:
         mop_s=mop_per_second(sc.nx, nit, best),
         pool=pool, rnm2=result.rnm2, verified=result.verified,
         extra={"nranks": nranks},
+        problem=_npb_problem(),
+    )
+
+
+def _bench_pde(problem: str, size_class: str, mode: str, repeats: int,
+               nthreads: int) -> PerfReport:
+    """Benchmark one PDE family member in one mode.
+
+    ``verified`` means converged-to-tolerance; ``mop_s`` stays 0 (the
+    NPB flop convention has nothing to say about these operators).
+    """
+    from repro.pde import get_workload
+
+    wl = get_workload(problem)
+    ws = Workspace(f"bench-{mode}", problem=problem)
+    best = float("inf")
+    best_monitor = PerfMonitor()
+    result = None
+    steady = -1
+    for _ in range(repeats):
+        monitor = PerfMonitor()
+        marks: list[int] = []
+        t0 = time.perf_counter()
+        result = wl.solve(
+            size_class, mode=mode, nthreads=nthreads, workspace=ws,
+            monitor=monitor,
+            on_iteration=lambda it, r: marks.append(ws.allocations))
+        dt = time.perf_counter() - t0
+        steady = ws.allocations - marks[0] if marks else 0
+        if dt < best:
+            best, best_monitor = dt, monitor
+    extra = {"nthreads": nthreads} if mode == "threaded" else {}
+    return PerfReport(
+        size_class=size_class, mode=mode, nit=result.iterations,
+        seconds=best, repeats=repeats,
+        per_op_seconds=best_monitor.seconds,
+        per_op_calls=best_monitor.calls,
+        mop_s=0.0, pool=_pool_stats(ws, steady),
+        rnm2=result.rnm2, verified=result.verified,
+        extra=extra, problem=wl.spec.describe(),
     )
 
 
 def run_bench(size_class: str = "S", modes=("serial", "threaded"),
               nit: int | None = None, repeats: int = 3, nthreads: int = 4,
-              nranks: int = 2) -> list[PerfReport]:
+              nranks: int = 2, problem: str = "npb-mg") -> list[PerfReport]:
     """Benchmark the requested modes; returns one report per mode."""
+    if problem != "npb-mg":
+        reports = []
+        for mode in modes:
+            if mode not in ("serial", "threaded"):
+                raise ValueError(
+                    f"problem {problem!r} benches serial and threaded "
+                    f"modes, not {mode!r}")
+            reports.append(_bench_pde(problem, size_class, mode,
+                                      repeats, nthreads))
+        return reports
     sc = get_class(size_class)
     iters = sc.nit if nit is None else nit
     reports: list[PerfReport] = []

@@ -23,20 +23,30 @@ from repro.harness.timers import SectionTimers
 __all__ = [
     "BENCH_SCHEMA",
     "CURRENT_BENCH_ID",
+    "PROBLEM_KEYS",
     "PerfMonitor",
     "PerfReport",
     "bench_document",
     "bench_path",
+    "default_problem",
     "git_rev",
     "mop_per_second",
     "validate_bench_document",
     "write_bench",
 ]
 
-#: Version tag every emitted benchmark document carries.
-BENCH_SCHEMA = "repro.perf/bench/1"
+#: Version tag every emitted benchmark document carries.  v2 adds the
+#: required top-level ``problem`` descriptor (name/family/boundary/
+#: cycle/smoother) — a benchmark of one solver-family member is not
+#: comparable to another member's, so the document must say whose
+#: numbers it holds.
+BENCH_SCHEMA = "repro.perf/bench/2"
 #: Trajectory point this tree emits (the PR number, by convention).
-CURRENT_BENCH_ID = 5
+CURRENT_BENCH_ID = 8
+
+#: Sub-keys every ``problem`` descriptor must carry (the output of
+#: :meth:`repro.pde.ProblemSpec.describe`).
+PROBLEM_KEYS = ("name", "family", "boundary", "cycle", "smoother")
 
 #: NPB MG's conventional flop count per fine-grid point per iteration
 #: (the constant the reference codes use to report Mop/s).
@@ -118,6 +128,11 @@ class PerfReport:
     pool: dict = field(default_factory=dict)
     rnm2: float = 0.0
     verified: bool = False
+    #: Which solver-family member produced these numbers: the
+    #: ``describe()`` dict of its :class:`repro.pde.ProblemSpec`
+    #: (name/family/boundary/cycle/smoother).  Defaults to the NPB
+    #: instance so schema-v1 call sites keep working.
+    problem: dict = field(default_factory=dict)
     #: Mode-specific settings (nthreads / nranks).
     extra: dict = field(default_factory=dict)
 
@@ -142,6 +157,14 @@ def bench_path(bench_id: int = CURRENT_BENCH_ID) -> str:
     return f"BENCH_{bench_id}.json"
 
 
+def default_problem() -> dict:
+    """The NPB instance's descriptor — what schema-v1 documents meant
+    implicitly, spelled out."""
+    from repro.pde import get_workload
+
+    return get_workload("npb-mg").spec.describe()
+
+
 def bench_document(reports: list[PerfReport], *,
                    bench_id: int = CURRENT_BENCH_ID) -> dict:
     """Assemble the versioned benchmark document from per-mode reports."""
@@ -150,6 +173,13 @@ def bench_document(reports: list[PerfReport], *,
     classes = {r.size_class for r in reports}
     if len(classes) != 1:
         raise ValueError(f"reports span multiple classes: {sorted(classes)}")
+    problems = {json.dumps(r.problem, sort_keys=True)
+                for r in reports if r.problem}
+    if len(problems) > 1:
+        raise ValueError("reports span multiple problems: "
+                         + ", ".join(sorted(problems)))
+    problem = (json.loads(problems.pop()) if problems
+               else default_problem())
     nits = {r.nit for r in reports}
     rev, dirty = git_rev()
     return {
@@ -159,6 +189,7 @@ def bench_document(reports: list[PerfReport], *,
         "dirty": dirty,
         "timestamp": datetime.now(timezone.utc).isoformat(),
         "class": reports[0].size_class,
+        "problem": problem,
         "nit": reports[0].nit if len(nits) == 1 else sorted(nits),
         "modes": {r.mode: r.to_dict() for r in reports},
     }
@@ -166,7 +197,7 @@ def bench_document(reports: list[PerfReport], *,
 
 _TOP_KEYS = {
     "schema": str, "bench_id": int, "git_rev": str, "dirty": bool,
-    "timestamp": str, "class": str, "modes": dict,
+    "timestamp": str, "class": str, "problem": dict, "modes": dict,
 }
 _MODE_KEYS = {
     "mode": str, "nit": int, "seconds": float, "repeats": int,
@@ -192,6 +223,13 @@ def validate_bench_document(doc: object) -> list[str]:
     if doc.get("schema") not in (None, BENCH_SCHEMA):
         errors.append(f"unknown schema {doc['schema']!r} "
                       f"(expected {BENCH_SCHEMA!r})")
+    problem = doc.get("problem")
+    if isinstance(problem, dict):
+        for key in PROBLEM_KEYS:
+            if key not in problem:
+                errors.append(f"problem: missing key {key!r}")
+            elif not isinstance(problem[key], str):
+                errors.append(f"problem[{key!r}] must be a string")
     modes = doc.get("modes")
     if isinstance(modes, dict):
         if not modes:

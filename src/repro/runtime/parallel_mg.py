@@ -236,14 +236,16 @@ def _plane_chunks(nplanes: int, team: ThreadTeam) -> list[Chunk]:
 
 
 def parallel_resid(u: np.ndarray, v: np.ndarray, a, team: ThreadTeam,
-                   lib=None, ws=None, monitor=None) -> np.ndarray:
+                   lib=None, ws=None, monitor=None,
+                   boundary=comm3) -> np.ndarray:
     """``r = v - A u``; with ``lib`` (a
     :class:`~repro.runtime.kernels.SacKernelLibrary`) the per-slab
     stencil is the compiled SAC ``RelaxKernel`` instead of the NumPy
     chunk kernel — one shared specialization per slab shape.
 
     The pooled output buffer (``ws`` given) is fully overwritten —
-    interior by the chunks, which tile all planes, ghosts by ``comm3``.
+    interior by the chunks, which tile all planes, ghosts by the
+    master-side ``boundary`` fill (default: periodic ``comm3``).
     """
     t0 = time.perf_counter() if monitor is not None else 0.0
     r = np.zeros_like(u) if ws is None else ws.get("presid.r", u.shape)
@@ -254,14 +256,15 @@ def parallel_resid(u: np.ndarray, v: np.ndarray, a, team: ThreadTeam,
     else:
         team.run(lambda c: resid_chunk(u, v, a, r, c.lo[0], c.hi[0], ws=ws),
                  _plane_chunks(m, team))
-    comm3(r)
+    boundary(r)
     if monitor is not None:
         monitor.add("resid", time.perf_counter() - t0)
     return r
 
 
 def parallel_psinv(r: np.ndarray, u: np.ndarray, c, team: ThreadTeam,
-                   lib=None, ws=None, monitor=None) -> np.ndarray:
+                   lib=None, ws=None, monitor=None,
+                   boundary=comm3) -> np.ndarray:
     t0 = time.perf_counter() if monitor is not None else 0.0
     m = u.shape[0] - 2
     if lib is not None:
@@ -270,14 +273,14 @@ def parallel_psinv(r: np.ndarray, u: np.ndarray, c, team: ThreadTeam,
     else:
         team.run(lambda ch: psinv_chunk(r, u, c, ch.lo[0], ch.hi[0], ws=ws),
                  _plane_chunks(m, team))
-    comm3(u)
+    boundary(u)
     if monitor is not None:
         monitor.add("psinv", time.perf_counter() - t0)
     return u
 
 
 def parallel_rprj3(r: np.ndarray, team: ThreadTeam, ws=None,
-                   monitor=None) -> np.ndarray:
+                   monitor=None, boundary=comm3) -> np.ndarray:
     t0 = time.perf_counter() if monitor is not None else 0.0
     nf = r.shape[0] - 2
     if nf < 4 or nf % 2:
@@ -287,7 +290,7 @@ def parallel_rprj3(r: np.ndarray, team: ThreadTeam, ws=None,
     s = make_grid(mj) if ws is None else ws.get("prprj3.s", (mj + 2,) * 3)
     team.run(lambda c: rprj3_chunk(r, s, c.lo[0], c.hi[0], ws=ws),
              _plane_chunks(mj, team))
-    comm3(s)
+    boundary(s)
     if monitor is not None:
         monitor.add("rprj3", time.perf_counter() - t0)
     return s

@@ -564,17 +564,32 @@ class RankComm:
 
     def exchange_halos(self, first_interior: np.ndarray,
                        last_interior: np.ndarray, *,
-                       op: str = "halo-exchange", level: int | None = None):
-        """Send boundary planes around the periodic ring; returns the
-        (lower, upper) halo planes for this rank."""
+                       op: str = "halo-exchange", level: int | None = None,
+                       wrap: bool = True):
+        """Send boundary planes around the ring; returns the
+        (lower, upper) halo planes for this rank.
+
+        ``wrap=True`` is the periodic ring.  With ``wrap=False`` the
+        ring is cut at the physical boundary: rank 0 sends nothing down
+        and receives no lower halo, rank ``p-1`` sends nothing up and
+        receives no upper halo — the missing sides come back ``None``
+        and the caller fills them from its boundary condition.  Message
+        counts stay balanced (every send has exactly one receiver).
+        """
         r, p = self.rank, self.size
         if p == 1:
+            if not wrap:
+                return None, None
             return last_interior, first_interior
         fab = self._fab(op=op, level=level)
-        fab.up[r].send(last_interior, op=op, level=level)    # to r+1: lower halo
-        fab.down[r].send(first_interior, op=op, level=level)  # to r-1: upper halo
-        lower = fab.up[(r - 1) % p].recv(self, op=op, level=level)
-        upper = fab.down[(r + 1) % p].recv(self, op=op, level=level)
+        if wrap or r < p - 1:
+            fab.up[r].send(last_interior, op=op, level=level)    # to r+1: lower halo
+        if wrap or r > 0:
+            fab.down[r].send(first_interior, op=op, level=level)  # to r-1: upper halo
+        lower = (fab.up[(r - 1) % p].recv(self, op=op, level=level)
+                 if wrap or r > 0 else None)
+        upper = (fab.down[(r + 1) % p].recv(self, op=op, level=level)
+                 if wrap or r < p - 1 else None)
         return lower, upper
 
     # -- collectives ------------------------------------------------------------
@@ -634,13 +649,21 @@ class RankComm:
 # Slab helpers.
 # ---------------------------------------------------------------------------
 
-def _local_comm3(slab: np.ndarray, comm: RankComm, op: str = "comm3") -> None:
+def _local_comm3(slab: np.ndarray, comm: RankComm, op: str = "comm3",
+                 boundary: str = "periodic", value: float = 0.0) -> None:
     """Refresh a slab's borders: local x/y faces, ring-exchanged z halos.
 
     Order matches the serial ``comm3`` (x, then y, then z): the z planes
     are exchanged after the local face copies, so the received halos
     carry their owner's corrected x/y borders — corner values come out
     exactly as in the sequential loop nest.
+
+    ``boundary`` selects the ghost contract (see
+    :func:`repro.core.grid.ghost_fill`).  Non-periodic slabs fill their
+    x/y faces from the physical boundary condition, exchange interior z
+    halos without wrapping the ring, and the edge ranks fill the
+    physical z faces locally — Neumann/Dirichlet faces exchange nothing
+    at physical boundaries.
     """
     for axis in (2, 1):
         lo = [slice(None)] * 3
@@ -648,16 +671,39 @@ def _local_comm3(slab: np.ndarray, comm: RankComm, op: str = "comm3") -> None:
         src_hi = [slice(None)] * 3
         src_lo = [slice(None)] * 3
         lo[axis] = 0
-        src_hi[axis] = -2
         hi[axis] = -1
+        if boundary == "periodic":
+            src_hi[axis] = -2
+            src_lo[axis] = 1
+            slab[tuple(lo)] = slab[tuple(src_hi)]
+            slab[tuple(hi)] = slab[tuple(src_lo)]
+            continue
         src_lo[axis] = 1
-        slab[tuple(lo)] = slab[tuple(src_hi)]
-        slab[tuple(hi)] = slab[tuple(src_lo)]
+        src_hi[axis] = -2
+        if boundary == "dirichlet":
+            slab[tuple(lo)] = 2.0 * value - slab[tuple(src_lo)]
+            slab[tuple(hi)] = 2.0 * value - slab[tuple(src_hi)]
+        elif boundary == "neumann":
+            slab[tuple(lo)] = slab[tuple(src_lo)]
+            slab[tuple(hi)] = slab[tuple(src_hi)]
+        else:
+            raise ValueError(f"unknown boundary kind: {boundary!r}")
     level = (slab.shape[1] - 2).bit_length() - 1
+    wrap = boundary == "periodic"
     lower, upper = comm.exchange_halos(slab[1].copy(), slab[-2].copy(),
-                                       op=op, level=level)
-    slab[0] = lower
-    slab[-1] = upper
+                                       op=op, level=level, wrap=wrap)
+    if lower is not None:
+        slab[0] = lower
+    elif boundary == "dirichlet":
+        slab[0] = 2.0 * value - slab[1]
+    else:  # neumann
+        slab[0] = slab[1]
+    if upper is not None:
+        slab[-1] = upper
+    elif boundary == "dirichlet":
+        slab[-1] = 2.0 * value - slab[-2]
+    else:  # neumann
+        slab[-1] = slab[-2]
 
 
 def _slab_from_full(full: np.ndarray, z0: int, nzl: int,
@@ -715,9 +761,12 @@ class DistributedMG:
                  transport: str | Transport | None = "inproc",
                  config: TransportConfig | None = None,
                  heartbeat: HeartbeatConfig | bool | None = None,
-                 heal=None):
+                 heal=None, boundary: str = "periodic",
+                 problem: str = "npb-mg"):
         if nranks < 1 or nranks & (nranks - 1):
             raise ValueError("nranks must be a power of two")
+        if boundary not in ("periodic", "dirichlet", "neumann"):
+            raise ValueError(f"unknown boundary kind: {boundary!r}")
         if kernels not in ("numpy", "sac"):
             raise ValueError(f"kernels must be 'numpy' or 'sac', "
                              f"got {kernels!r}")
@@ -734,6 +783,13 @@ class DistributedMG:
         self.config = config
         self.heartbeat = heartbeat
         self.heal = heal
+        #: Ghost contract threaded into every slab border refresh.  The
+        #: NPB instance is periodic; family members with physical
+        #: boundaries exchange nothing across them (the edge ranks fill
+        #: the physical z faces locally).
+        self.boundary = boundary
+        #: Problem key stamped into per-rank workspaces and kernel keys.
+        self.problem = problem
         self.last_world: World | None = None
         # workspace=True: each rank gets a persistent scratch pool so
         # repeated solves run the timed section allocation-free.  Pooled
@@ -745,7 +801,7 @@ class DistributedMG:
         if workspace:
             from repro.perf.workspace import Workspace
 
-            self.workspaces = [Workspace(f"spmd-rank{r}")
+            self.workspaces = [Workspace(f"spmd-rank{r}", problem=problem)
                                for r in range(nranks)]
         #: Rank 0's per-operator timer (any ``add(section, dt)``).
         self.monitor = monitor
@@ -760,7 +816,7 @@ class DistributedMG:
         if kernels == "sac" and kernel_library is None:
             from .kernels import SacKernelLibrary
 
-            self.kernel_library = SacKernelLibrary()
+            self.kernel_library = SacKernelLibrary(problem=problem)
 
     # levels with at least 2 planes per rank are distributed.
     def _distributed(self, k: int) -> bool:
@@ -1096,7 +1152,7 @@ class DistributedMG:
             self.kernel_library.resid_slab(u, v, a, r, 0, u.shape[0] - 2)
         else:
             resid_chunk(u, v, a, r, 0, u.shape[0] - 2, ws=ws)
-        _local_comm3(r, comm, op="resid")
+        _local_comm3(r, comm, op="resid", boundary=self.boundary)
         if mon is not None:
             mon.add("resid", time.perf_counter() - t0)
         return r
@@ -1107,7 +1163,7 @@ class DistributedMG:
             self.kernel_library.psinv_slab(r, u, c, 0, u.shape[0] - 2)
         else:
             psinv_chunk(r, u, c, 0, u.shape[0] - 2, ws=ws)
-        _local_comm3(u, comm, op="psinv")
+        _local_comm3(u, comm, op="psinv", boundary=self.boundary)
         if mon is not None:
             mon.add("psinv", time.perf_counter() - t0)
 
@@ -1120,7 +1176,7 @@ class DistributedMG:
         shape = (nzl_c + 2, n_f // 2 + 2, n_f // 2 + 2)
         s = np.zeros(shape) if ws is None else ws.get("drprj3.s", shape)
         rprj3_chunk(r_fine, s, 0, nzl_c, ws=ws)
-        _local_comm3(s, comm, op="rprj3")
+        _local_comm3(s, comm, op="rprj3", boundary=self.boundary)
         if mon is not None:
             mon.add("rprj3", time.perf_counter() - t0)
         return s
@@ -1138,7 +1194,7 @@ class DistributedMG:
         """
         t0 = time.perf_counter() if mon is not None else 0.0
         interp_chunk(z_coarse, u_fine, 0, z_coarse.shape[0] - 1, ws=ws)
-        _local_comm3(u_fine, comm, op="interp")
+        _local_comm3(u_fine, comm, op="interp", boundary=self.boundary)
         if mon is not None:
             mon.add("interp", time.perf_counter() - t0)
 

@@ -32,16 +32,24 @@ class Rung:
 
     ``workers`` is the rank count for ``distributed`` rungs and the
     thread count for ``threaded`` rungs (ignored for ``serial``).
+
+    ``problem`` names the solver-family member the rung runs (see
+    ``repro.pde.PROBLEMS``); the default is the NPB instance.  PDE
+    members run serial/threaded only — the supervisor records a
+    demotion and skips distributed/sac rungs for them.
     """
 
     mode: str
     kernels: str = "numpy"
     workers: int = 2
+    problem: str = "npb-mg"
 
     def __post_init__(self) -> None:
         if self.mode not in _MODES:
             raise ValueError(f"rung mode must be one of {_MODES}, "
                              f"got {self.mode!r}")
+        if not self.problem or not isinstance(self.problem, str):
+            raise ValueError("rung problem must be a non-empty string")
         if self.kernels not in _KERNELS:
             raise ValueError(f"rung kernels must be one of {_KERNELS}, "
                              f"got {self.kernels!r}")
@@ -55,9 +63,10 @@ class Rung:
                              "worker count")
 
     def describe(self) -> str:
+        suffix = "" if self.problem == "npb-mg" else f"@{self.problem}"
         if self.mode == "serial":
-            return "serial"
-        return f"{self.mode}[{self.kernels}]x{self.workers}"
+            return f"serial{suffix}"
+        return f"{self.mode}[{self.kernels}]x{self.workers}{suffix}"
 
 
 def default_ladder(*, nranks: int = 2, nthreads: int = 2,

@@ -59,6 +59,8 @@ class SolveReport:
     """The full flight record of one supervised solve."""
 
     size_class: str
+    #: Solver-family member this solve ran (``repro.pde.PROBLEMS`` key).
+    problem: str = "npb-mg"
     #: "solved" or "failed".
     outcome: str = "failed"
     attempts: list[AttemptRecord] = field(default_factory=list)
@@ -95,6 +97,7 @@ class SolveReport:
     def to_dict(self) -> dict:
         return {
             "size_class": self.size_class,
+            "problem": self.problem,
             "outcome": self.outcome,
             "solved_by": self.solved_by,
             "rnm2": self.rnm2,
@@ -117,7 +120,10 @@ class SolveReport:
     def summary(self) -> str:
         """A terse human-readable synopsis."""
         lines = [
-            f"supervised solve, class {self.size_class}: {self.outcome}"
+            f"supervised solve, class {self.size_class}"
+            + ("" if self.problem == "npb-mg"
+               else f", problem {self.problem}")
+            + f": {self.outcome}"
             + (f" by {self.solved_by}" if self.solved_by else ""),
             f"  attempts={len(self.attempts)} retries={self.retries} "
             f"checkpoints_used={self.checkpoints_used} "

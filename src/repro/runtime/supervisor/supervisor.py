@@ -217,6 +217,15 @@ class SupervisedSolver:
                   deadline: float | None,
                   report: SolveReport | None = None) -> MGResult:
         on_iter = watchdog.observe if watchdog is not None else None
+        if rung.problem != "npb-mg":
+            # PDE family members: serial/threaded through the pde
+            # solver (distributed/sac rungs were skipped by the ladder
+            # loop with a demotion record).
+            from repro.pde import solve_problem
+
+            return solve_problem(rung.problem, sc.name, mode=rung.mode,
+                                 nthreads=rung.workers,
+                                 on_iteration=on_iter)
         lib = self._kernel_library() if rung.kernels == "sac" else None
         if rung.mode == "distributed":
             timeout = policy.op_timeout
@@ -254,18 +263,26 @@ class SupervisedSolver:
     # -- the supervised solve ----------------------------------------------
 
     def solve(self, size_class: str | SizeClass, nit: int | None = None, *,
-              policy: SupervisorPolicy | None = None) -> SupervisedResult:
+              policy: SupervisorPolicy | None = None,
+              problem: str = "npb-mg") -> SupervisedResult:
         """Solve under supervision: a result or a structured post-mortem.
 
         Returns a :class:`SupervisedResult`; raises
         :class:`~.errors.SupervisionFailed` (its ``report`` attribute is
         the full :class:`~.report.SolveReport`) only when every ladder
         rung is exhausted or the deadline budget runs out.
+
+        ``problem`` selects the solver-family member; non-default values
+        stamp every ladder rung (the rung specs carry the problem key),
+        and rungs the member cannot run (distributed, sac) are skipped
+        with a demotion record.
         """
+        import dataclasses
+
         policy = policy if policy is not None else self.policy
         sc = (get_class(size_class) if isinstance(size_class, str)
               else size_class)
-        report = SolveReport(size_class=sc.name)
+        report = SolveReport(size_class=sc.name, problem=problem)
         t_start = self._clock()
         deadline = (t_start + policy.deadline
                     if policy.deadline is not None else None)
@@ -274,13 +291,26 @@ class SupervisedSolver:
         if store is None:
             store = CheckpointStore(retain=policy.checkpoint_retain)
         check_verify = (policy.verify and nit is None
-                        and sc.verify_value is not None)
+                        and sc.verify_value is not None
+                        and problem == "npb-mg")
         last_error: BaseException | None = None
         ladder = policy.ladder
+        if problem != "npb-mg":
+            ladder = tuple(dataclasses.replace(r, problem=problem)
+                           for r in ladder)
         try:
             for ri, rung in enumerate(ladder):
                 next_desc = (ladder[ri + 1].describe()
                              if ri + 1 < len(ladder) else "(none)")
+                if (rung.problem != "npb-mg"
+                        and (rung.mode == "distributed"
+                             or rung.kernels == "sac")):
+                    report.demotions.append(DemotionRecord(
+                        rung.describe(), next_desc,
+                        f"problem {rung.problem!r} runs serial/threaded "
+                        "numpy only; skipping this rung",
+                    ))
+                    continue
                 if rung.kernels == "sac" and not self.breaker.allow():
                     report.demotions.append(DemotionRecord(
                         rung.describe(), next_desc,
@@ -437,7 +467,13 @@ class SupervisedSolver:
             report.outcome = "solved"
             report.solved_by = rec.rung
             report.rnm2 = result.rnm2
-            report.verified = (result.verified
-                               if sc.verify_value is not None and nit is None
-                               else None)
+            if rung.problem != "npb-mg":
+                # PDE members have no official NPB value; ``verified``
+                # records converged-to-tolerance.
+                report.verified = bool(result.verified)
+            else:
+                report.verified = (result.verified
+                                   if (sc.verify_value is not None
+                                       and nit is None)
+                                   else None)
             return SupervisedResult(result, report)

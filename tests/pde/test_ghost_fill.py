@@ -1,0 +1,104 @@
+"""Property tests of the ghost-fill contract (issue satellite).
+
+``ghost_fill`` must agree with direct index arithmetic on random small
+grids for every boundary kind, and its periodic case must be exactly
+the NPB ``comm3``.  The direct-arithmetic twin below mirrors the
+axis-by-axis fill order (last axis first), so corners are checked too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import comm3, ghost_fill, make_extended
+
+
+def _naive_fill(u, kind, value=0.0):
+    """Ghost fill by explicit index arithmetic, same axis order."""
+    out = u.copy()
+    nd = out.ndim
+    for axis in range(nd - 1, -1, -1):
+        lo = [slice(None)] * nd
+        hi = [slice(None)] * nd
+        in_lo = [slice(None)] * nd
+        in_hi = [slice(None)] * nd
+        lo[axis], hi[axis] = 0, -1
+        in_lo[axis], in_hi[axis] = 1, -2
+        lo, hi = tuple(lo), tuple(hi)
+        in_lo, in_hi = tuple(in_lo), tuple(in_hi)
+        if kind == "periodic":
+            out[lo] = out[in_hi]
+            out[hi] = out[in_lo]
+        elif kind == "dirichlet":
+            out[lo] = 2.0 * value - out[in_lo]
+            out[hi] = 2.0 * value - out[in_hi]
+        elif kind == "neumann":
+            out[lo] = out[in_lo]
+            out[hi] = out[in_hi]
+    return out
+
+
+def _random_extended(rng, shape):
+    u = np.zeros(tuple(s + 2 for s in shape))
+    u[tuple(slice(1, -1) for _ in shape)] = rng.standard_normal(shape)
+    return u
+
+
+@pytest.mark.parametrize("kind", ["periodic", "dirichlet", "neumann"])
+@pytest.mark.parametrize("shape", [(5,), (4, 7), (3, 5, 4), (2, 2, 2)])
+def test_matches_direct_index_arithmetic(kind, shape):
+    rng = np.random.default_rng(hash((kind, shape)) % (2**32))
+    for _ in range(5):
+        u = _random_extended(rng, shape)
+        value = float(rng.standard_normal()) if kind == "dirichlet" else 0.0
+        want = _naive_fill(u, kind, value)
+        got = ghost_fill(u.copy(), kind, value)
+        np.testing.assert_array_equal(got, want)
+
+
+@pytest.mark.parametrize("m", [2, 4, 6])
+def test_periodic_is_comm3_in_3d(m):
+    rng = np.random.default_rng(m)
+    u = _random_extended(rng, (m, m, m))
+    np.testing.assert_array_equal(ghost_fill(u.copy(), "periodic"),
+                                  comm3(u.copy()))
+
+
+@pytest.mark.parametrize("shape", [(6,), (5, 3), (4, 4, 4)])
+def test_periodic_matches_np_pad_wrap(shape):
+    rng = np.random.default_rng(0)
+    interior = rng.standard_normal(shape)
+    u = np.zeros(tuple(s + 2 for s in shape))
+    u[tuple(slice(1, -1) for _ in shape)] = interior
+    np.testing.assert_array_equal(ghost_fill(u, "periodic"),
+                                  np.pad(interior, 1, mode="wrap"))
+
+
+@pytest.mark.parametrize("shape", [(6,), (5, 3), (4, 4, 4)])
+def test_neumann_matches_np_pad_edge(shape):
+    rng = np.random.default_rng(1)
+    interior = rng.standard_normal(shape)
+    u = np.zeros(tuple(s + 2 for s in shape))
+    u[tuple(slice(1, -1) for _ in shape)] = interior
+    np.testing.assert_array_equal(ghost_fill(u, "neumann"),
+                                  np.pad(interior, 1, mode="edge"))
+
+
+def test_interior_never_touched():
+    rng = np.random.default_rng(2)
+    u = _random_extended(rng, (5, 6, 7))
+    interior = u[1:-1, 1:-1, 1:-1].copy()
+    for kind in ("periodic", "dirichlet", "neumann"):
+        filled = ghost_fill(u.copy(), kind, 0.5)
+        np.testing.assert_array_equal(filled[1:-1, 1:-1, 1:-1], interior)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown"):
+        ghost_fill(np.zeros((4, 4)), "reflecting")
+
+
+def test_make_extended_shape_and_dtype():
+    u = make_extended(8, ndim=2)
+    assert u.shape == (10, 10)
+    assert u.dtype == np.float64
+    assert np.all(u == 0.0)

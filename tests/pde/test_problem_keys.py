@@ -1,0 +1,104 @@
+"""Problem keys in the perf and kernel caches.
+
+A workspace or kernel library shared across solver-family members must
+never serve one problem's buffer / compiled specialization for
+another's request: the :class:`ProblemSpec` key is part of every cache
+key.
+"""
+
+import numpy as np
+
+from repro.perf import Workspace
+from repro.runtime.kernels import SacKernelLibrary
+
+
+class TestWorkspaceProblemKey:
+    def test_same_name_different_problem_gets_distinct_buffers(self):
+        a = Workspace("t", problem="variable-poisson")
+        b = Workspace("t", problem="heat2d")
+        ba = a.get("pde.resid", (4, 4))
+        bb = b.get("pde.resid", (4, 4))
+        assert ba is not bb
+
+    def test_problem_is_part_of_the_buffer_key(self):
+        ws = Workspace("t", problem="dirichlet-fmg")
+        ws.get("pde.resid", (3, 3))
+        (key,) = ws._buffers.keys()
+        assert key[0] == "dirichlet-fmg"
+
+    def test_reuse_within_one_problem_still_hits(self):
+        ws = Workspace("t", problem="variable-poisson")
+        b1 = ws.get("x", (5,))
+        b2 = ws.get("x", (5,))
+        assert b1 is b2
+        assert ws.counters().hits == 1
+
+
+class _StubSession:
+    """Counts compile_kernel calls and records the example args."""
+
+    def __init__(self):
+        self.calls = []
+
+    def compile_kernel(self, name, example):
+        self.calls.append((name, [np.asarray(e).shape for e in example]))
+
+        def kernel(*args):
+            return np.zeros_like(args[0])
+
+        return kernel
+
+
+class TestKernelLibraryProblemKey:
+    def test_key_carries_problem_and_kernel_name(self):
+        session = _StubSession()
+        lib = SacKernelLibrary(session=session, problem="variable-poisson",
+                               kernel_name="VarRelax")
+        lib.relax(np.zeros((4, 4, 4)), np.zeros(4))
+        assert list(lib._kernels) == [
+            ("variable-poisson", "VarRelax", (4, 4, 4))]
+
+    def test_distinct_problems_never_share_a_specialization(self):
+        session = _StubSession()
+        a = SacKernelLibrary(session=session, problem="npb-mg")
+        b = SacKernelLibrary(session=session, problem="variable-poisson")
+        a.relax(np.zeros((4, 4, 4)), np.zeros(4))
+        b.relax(np.zeros((4, 4, 4)), np.zeros(4))
+        # same shape, but two compilations — one per problem key
+        assert len(session.calls) == 2
+
+    def test_same_problem_same_shape_compiles_once(self):
+        session = _StubSession()
+        lib = SacKernelLibrary(session=session)
+        lib.relax(np.zeros((4, 4, 4)), np.zeros(4))
+        lib.relax(np.ones((4, 4, 4)), np.zeros(4))
+        assert len(session.calls) == 1
+        assert lib.specialization_count == 1
+
+    def test_example_args_hook_is_consulted(self):
+        session = _StubSession()
+        seen = []
+
+        def example_args(shape):
+            seen.append(shape)
+            return [np.zeros(shape)] + [np.zeros(shape)] * 4
+
+        lib = SacKernelLibrary(session=session, problem="variable-poisson",
+                               kernel_name="VarRelax",
+                               example_args=example_args)
+        lib.relax(np.zeros((3, 3, 3)), np.zeros(4))
+        assert seen == [(3, 3, 3)]
+        (call,) = session.calls
+        assert call == ("VarRelax", [(3, 3, 3)] * 5)
+
+    def test_compile_failure_is_counted(self):
+        class _Boom:
+            def compile_kernel(self, name, example):
+                raise RuntimeError("no backend")
+
+        lib = SacKernelLibrary(session=_Boom())
+        try:
+            lib.relax(np.zeros((4, 4, 4)), np.zeros(4))
+        except RuntimeError:
+            pass
+        assert lib.compile_failures == 1

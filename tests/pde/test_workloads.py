@@ -1,0 +1,108 @@
+"""End-to-end workload tests against independent oracles.
+
+Every shipped family member converges to an independently computed
+solution — ``scipy.sparse`` direct solves for the Poisson members, the
+exact discrete eigenmode decay for the heat equation — in serial *and*
+threaded mode, and threaded results are bitwise identical to serial
+(the chunked-sweep contract inherited from ``runtime.parallel_mg``).
+``npb-mg`` routed through the family registry stays bit-identical to
+the untouched ``core.mg`` path.
+
+The 3-D oracle comparisons run at ``nx = 16`` (a full direct solve at
+class S takes ~30 s; at 16^3 it is instant and pins the same
+discretisation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.pde import build_operator, get_workload, solve_problem
+from repro.pde.oracle import oracle_solve
+
+pytestmark = pytest.mark.workloads
+
+pytest.importorskip("scipy")
+
+_ORACLE_NX = 16
+
+
+def _small(wl, nx=_ORACLE_NX):
+    wl.grid_size = lambda size_class: nx  # type: ignore[method-assign]
+    return wl
+
+
+def _oracle(wl, nx):
+    op = build_operator(wl.spec, nx, wl.coefficient())
+    return oracle_solve(op, wl.rhs(nx))
+
+
+def _interior(res):
+    return res.u[tuple(slice(1, -1) for _ in range(res.u.ndim))]
+
+
+class TestPoissonOracles:
+    @pytest.mark.parametrize("name", ["variable-poisson", "dirichlet-fmg"])
+    @pytest.mark.parametrize("mode", ["serial", "threaded"])
+    def test_converges_to_direct_solve(self, name, mode):
+        wl = _small(get_workload(name))
+        res = wl.solve("S", mode=mode, nthreads=2)
+        assert res.converged and res.verified
+        want = _oracle(wl, _ORACLE_NX)
+        err = np.max(np.abs(_interior(res) - want)) / np.max(np.abs(want))
+        assert err < 1e-7, f"{name}/{mode}: oracle error {err:.3e}"
+
+
+class TestHeat2DAnalytic:
+    """``cos(pi x)cos(pi y)`` at cell centres is an exact discrete
+    eigenmode of the mirrored (Neumann) five-point Laplacian, so each
+    implicit-Euler step scales it by ``1 / (1 + dt * 2 mu)`` with
+    ``mu = (2 - 2 cos(pi h)) / h^2``."""
+
+    @pytest.mark.parametrize("mode", ["serial", "threaded"])
+    def test_matches_exact_discrete_decay(self, mode):
+        wl = get_workload("heat2d")
+        res = wl.solve("S", mode=mode, nthreads=2)
+        assert res.converged and res.verified
+        nx = res.nx
+        h = 1.0 / nx
+        mu = (2.0 - 2.0 * np.cos(np.pi * h)) / (h * h)
+        factor = (1.0 + wl.dt * 2.0 * mu) ** (-wl.steps)
+        want = wl.initial(nx) * factor
+        err = np.max(np.abs(_interior(res) - want)) / np.max(np.abs(want))
+        assert err < 1e-7, f"heat2d/{mode}: analytic error {err:.3e}"
+
+
+class TestThreadedBitwiseEqualsSerial:
+    @pytest.mark.parametrize(
+        "name", ["variable-poisson", "dirichlet-fmg", "heat2d"])
+    def test_threaded_matches_serial_exactly(self, name):
+        nx = _ORACLE_NX if get_workload(name).spec.ndim == 3 else None
+        ser = get_workload(name)
+        thr = get_workload(name)
+        if nx is not None:
+            _small(ser, nx)
+            _small(thr, nx)
+        a = ser.solve("S", mode="serial")
+        b = thr.solve("S", mode="threaded", nthreads=3)
+        assert a.iterations == b.iterations
+        assert a.rnm2 == b.rnm2
+        np.testing.assert_array_equal(a.u, b.u)
+
+
+class TestNpbThroughTheFamily:
+    def test_registry_route_is_bit_identical_to_core(self):
+        from repro.core.mg import solve as core_solve
+
+        fam = solve_problem("npb-mg", "S")
+        core = core_solve("S")
+        assert fam.verified and core.verified
+        assert fam.rnm2 == core.rnm2
+        np.testing.assert_array_equal(fam.u, core.u)
+
+    def test_unknown_problem_rejected(self):
+        with pytest.raises(ValueError, match="unknown problem"):
+            solve_problem("advection")
+
+    def test_npb_rejects_distributed_mode_with_pointer(self):
+        with pytest.raises(ValueError, match="DistributedMG"):
+            solve_problem("npb-mg", "S", mode="distributed")
